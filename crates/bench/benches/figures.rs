@@ -1,0 +1,106 @@
+//! Criterion benches: one per table and figure of the paper's evaluation.
+//!
+//! Each bench runs the corresponding experiment end-to-end (full-fidelity
+//! 2×100-node federation over 10 simulated hours) at a single sweep point,
+//! so `cargo bench` both regenerates the result shape and tracks the
+//! simulator's own performance. The regenerator binaries (`--bin figureN`)
+//! print the full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc3i_bench::experiments;
+use std::hint::black_box;
+
+const SEED: u64 = experiments::DEFAULT_SEED;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/reference_workload", |b| {
+        b.iter(|| {
+            let r = experiments::table1(black_box(SEED));
+            assert_eq!(r.app_matrix[0][0], 2920);
+            black_box(r)
+        })
+    });
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    c.bench_function("figure6/clc_sweep_point_30min", |b| {
+        b.iter(|| {
+            let rows = experiments::figure6_7(black_box(&[30]), SEED);
+            assert!(rows[0].c0_unforced > 0);
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_figure7(c: &mut Criterion) {
+    c.bench_function("figure7/cluster1_forced_at_30min", |b| {
+        b.iter(|| {
+            let rows = experiments::figure6_7(black_box(&[30]), SEED);
+            assert_eq!(rows[0].c1_unforced, 0, "cluster 1 timer is infinite");
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_figure8(c: &mut Criterion) {
+    c.bench_function("figure8/c1_timer_15min", |b| {
+        b.iter(|| black_box(experiments::figure8(black_box(&[15]), SEED)))
+    });
+}
+
+fn bench_figure9(c: &mut Criterion) {
+    c.bench_function("figure9/reverse_103_msgs", |b| {
+        b.iter(|| black_box(experiments::figure9(black_box(&[103]), SEED)))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/gc_two_clusters", |b| {
+        b.iter(|| {
+            let r = experiments::table2(black_box(SEED));
+            assert!(!r.clusters[0].gc_before_after.is_empty());
+            black_box(r)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/gc_three_clusters", |b| {
+        b.iter(|| black_box(experiments::table3(black_box(SEED))))
+    });
+}
+
+fn bench_ablation_ddv(c: &mut Criterion) {
+    c.bench_function("ablation/ddv_ring3", |b| {
+        b.iter(|| black_box(experiments::ablation_ddv(black_box(&[3]), SEED)))
+    });
+}
+
+fn bench_ablation_protocols(c: &mut Criterion) {
+    c.bench_function("ablation/protocol_families", |b| {
+        b.iter(|| black_box(experiments::ablation_protocols(black_box(SEED))))
+    });
+}
+
+fn bench_ablation_replication(c: &mut Criterion) {
+    c.bench_function("ablation/replication_degree", |b| {
+        b.iter(|| black_box(experiments::ablation_replication(black_box(&[1, 2, 3]), SEED)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1,
+        bench_figure6,
+        bench_figure7,
+        bench_figure8,
+        bench_figure9,
+        bench_table2,
+        bench_table3,
+        bench_ablation_ddv,
+        bench_ablation_protocols,
+        bench_ablation_replication,
+}
+criterion_main!(figures);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the protocol's hot paths and substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{EventQueue, SimDuration, SimTime};
+use hc3i_core::recovery::{recovery_line, ClcList};
+use hc3i_core::{gc, Ddv, SeqNum};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("desim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reordering.
+                let t = SimTime(i.wrapping_mul(0x9E3779B97F4A7C15) % 1_000_000);
+                q.push(t, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn deep_lists(n_clusters: usize, clcs_per_cluster: u64) -> Vec<ClcList> {
+    (0..n_clusters)
+        .map(|c| {
+            (1..=clcs_per_cluster)
+                .map(|k| {
+                    let mut ddv = Ddv::zeros(n_clusters);
+                    ddv.set(c, SeqNum(k));
+                    // Each cluster heard from its left neighbour up to k-1.
+                    let left = (c + n_clusters - 1) % n_clusters;
+                    ddv.set(left, SeqNum(k.saturating_sub(1)));
+                    (SeqNum(k), ddv)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_recovery_line(c: &mut Criterion) {
+    let lists = deep_lists(8, 200);
+    c.bench_function("core/recovery_line_8x200", |b| {
+        b.iter(|| black_box(recovery_line(black_box(&lists), 0)))
+    });
+}
+
+fn bench_gc_mins(c: &mut Criterion) {
+    let lists = deep_lists(8, 200);
+    c.bench_function("core/gc_safe_minimum_sns_8x200", |b| {
+        b.iter(|| black_box(gc::safe_minimum_sns(black_box(&lists))))
+    });
+}
+
+fn bench_instant_federation_clc(c: &mut Criterion) {
+    use hc3i_core::testkit::InstantFederation;
+    use hc3i_core::ProtocolConfig;
+    c.bench_function("core/two_phase_commit_32_nodes", |b| {
+        b.iter(|| {
+            let mut fed = InstantFederation::new(ProtocolConfig::new(vec![32]));
+            fed.fire_clc_timer(0);
+            black_box(fed.commits.len())
+        })
+    });
+}
+
+fn bench_ddv_merge(c: &mut Criterion) {
+    let a = Ddv::from_entries((0..64).map(SeqNum).collect());
+    c.bench_function("storage/ddv_merge_max_64", |b| {
+        b.iter(|| {
+            let mut x = black_box(a.clone());
+            let changed = x.merge_max(black_box(&a));
+            black_box((x, changed))
+        })
+    });
+}
+
+fn bench_network_send(c: &mut Criterion) {
+    use netsim::{MessageClass, Network, NodeId, Topology};
+    c.bench_function("netsim/send_timing_10k", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Topology::paper_reference(2));
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u32 {
+                t += SimDuration::from_micros(1);
+                let arrival = net.send(
+                    t,
+                    NodeId::new(0, i % 100),
+                    NodeId::new(1, (i + 1) % 100),
+                    1024,
+                    MessageClass::App,
+                );
+                black_box(arrival);
+            }
+            black_box(net.total_by_class(MessageClass::App))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_event_queue,
+        bench_recovery_line,
+        bench_gc_mins,
+        bench_instant_federation_clc,
+        bench_ddv_merge,
+        bench_network_send,
+}
+criterion_main!(micro);

@@ -1,0 +1,11 @@
+//! Ablation: SN-only vs full-DDV piggybacking (paper §7 extension).
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::ablation_ddv(&[3, 4, 5], seed);
+    print!("{}", render::ablation_ddv(&rows));
+}

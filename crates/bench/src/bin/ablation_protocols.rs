@@ -1,0 +1,11 @@
+//! Ablation: HC3I vs global-coordinated vs independent vs pessimistic log.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::ablation_protocols(seed);
+    print!("{}", render::ablation_protocols(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 7: CLC counts in cluster 1 vs cluster-0 timer.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::figure6_7(&experiments::figure6_delays(), seed);
+    print!("{}", render::figure7(&rows));
+}

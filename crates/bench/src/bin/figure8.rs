@@ -1,0 +1,11 @@
+//! Regenerate Figure 8: impact of cluster-1 timer on both clusters.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::figure8(&experiments::figure8_delays(), seed);
+    print!("{}", render::figure8(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 9: forced CLCs vs reverse-direction traffic.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::figure9(&experiments::figure9_counts(), seed);
+    print!("{}", render::figure9(&rows));
+}

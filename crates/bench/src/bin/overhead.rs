@@ -1,0 +1,14 @@
+//! Regenerate the paper's section 5.2 overhead analysis.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::overhead_breakdown(
+        &[None, Some(120), Some(60), Some(30), Some(15), Some(5)],
+        seed,
+    );
+    print!("{}", render::overhead(&rows));
+}

@@ -1,0 +1,11 @@
+//! Federation-scaling sensitivity sweep.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let rows = experiments::federation_scaling(&[2, 3, 4, 6, 8, 12], seed);
+    print!("{}", render::scaling(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 1: application message counts of the reference workload.
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let report = experiments::table1(seed);
+    print!("{}", render::table1(&report));
+}

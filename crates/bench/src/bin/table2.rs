@@ -1,0 +1,17 @@
+//! Regenerate Table 2: stored CLCs before/after each GC (two clusters).
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let report = experiments::table2(seed);
+    print!(
+        "{}",
+        render::gc_table(
+            "Table 2: Number of stored CLCs (2 clusters, GC every 2 h)",
+            &report
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerate Table 3: stored CLCs before/after each GC (three clusters).
+use hc3i_bench::{experiments, render};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(experiments::DEFAULT_SEED);
+    let report = experiments::table3(seed);
+    print!(
+        "{}",
+        render::gc_table(
+            "Table 3: Number of stored CLCs (3 clusters, GC every 2 h)",
+            &report
+        )
+    );
+}

@@ -1,0 +1,530 @@
+//! The paper's evaluation experiments (§5), one function per table/figure.
+//!
+//! Every function builds the same setup the paper describes — 2 (or 3)
+//! clusters of 100 nodes, Myrinet-like SANs, Ethernet-like inter-cluster
+//! links, a 10-hour application with the Table 1 traffic — runs the
+//! full-fidelity simulation and returns the rows the paper plots.
+
+use desim::{RngStreams, SimDuration};
+use hc3i_core::{PiggybackMode, ProtocolConfig};
+use netsim::Topology;
+use simdriver::{run, RunReport, SimConfig};
+use workload::{TargetCountWorkload, Workload};
+
+/// Default seed used by the regenerator binaries.
+pub const DEFAULT_SEED: u64 = 20040426; // the workshop date
+
+fn paper_run(
+    n_clusters: usize,
+    workload: &TargetCountWorkload,
+    clc_delays_min: &[Option<u64>],
+    gc_hours: Option<u64>,
+    piggyback: PiggybackMode,
+    seed: u64,
+) -> RunReport {
+    let sends = workload.schedule(&RngStreams::new(seed));
+    let mut cfg = SimConfig::new(Topology::paper_reference(n_clusters), workload.duration)
+        .with_sends(sends)
+        .with_seed(seed)
+        .with_protocol(ProtocolConfig::new(vec![100; n_clusters]).with_piggyback(piggyback));
+    for (c, d) in clc_delays_min.iter().enumerate() {
+        if let Some(minutes) = d {
+            cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(*minutes));
+        }
+    }
+    if let Some(h) = gc_hours {
+        cfg = cfg.with_gc_interval(SimDuration::from_hours(h));
+    }
+    run(cfg)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1: application message counts of the reference workload.
+pub fn table1(seed: u64) -> RunReport {
+    paper_run(
+        2,
+        &TargetCountWorkload::paper_table1(),
+        &[Some(30), None],
+        None,
+        PiggybackMode::SnOnly,
+        seed,
+    )
+}
+
+// ------------------------------------------------------------ Figures 6–7
+
+/// One sweep point of Figures 6 and 7.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig67Row {
+    /// Cluster-0 timer (minutes).
+    pub delay_min: u64,
+    /// Unforced CLCs committed in cluster 0.
+    pub c0_unforced: u64,
+    /// Forced CLCs committed in cluster 0.
+    pub c0_forced: u64,
+    /// Unforced CLCs committed in cluster 1 (timer is infinite: expect 0).
+    pub c1_unforced: u64,
+    /// Forced CLCs committed in cluster 1.
+    pub c1_forced: u64,
+}
+
+/// Figures 6 & 7: CLC counts in both clusters as cluster 0's timer sweeps;
+/// cluster 1's timer is infinite (paper §5.2).
+pub fn figure6_7(delays_min: &[u64], seed: u64) -> Vec<Fig67Row> {
+    delays_min
+        .iter()
+        .map(|&d| {
+            let r = paper_run(
+                2,
+                &TargetCountWorkload::paper_table1(),
+                &[Some(d), None],
+                None,
+                PiggybackMode::SnOnly,
+                seed,
+            );
+            Fig67Row {
+                delay_min: d,
+                c0_unforced: r.clusters[0].unforced_clcs,
+                c0_forced: r.clusters[0].forced_clcs,
+                c1_unforced: r.clusters[1].unforced_clcs,
+                c1_forced: r.clusters[1].forced_clcs,
+            }
+        })
+        .collect()
+}
+
+/// The paper's x axis for Figures 6–7 (minutes).
+pub fn figure6_delays() -> Vec<u64> {
+    vec![5, 10, 15, 20, 30, 40, 50, 60, 80, 100, 120]
+}
+
+// --------------------------------------------------------------- Figure 8
+
+/// One sweep point of Figure 8.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Row {
+    /// Cluster-1 timer (minutes).
+    pub c1_delay_min: u64,
+    /// Total CLCs committed in cluster 0 (timer fixed at 30 min).
+    pub c0_total: u64,
+    /// Total CLCs committed in cluster 1.
+    pub c1_total: u64,
+    /// Forced CLCs committed in cluster 1.
+    pub c1_forced: u64,
+}
+
+/// Figure 8: cluster 0's timer fixed at 30 min; sweep cluster 1's timer.
+/// The paper's point: thanks to the low 1→0 message count, cluster 0 does
+/// not store more CLCs even when cluster 1 checkpoints much more often.
+pub fn figure8(c1_delays_min: &[u64], seed: u64) -> Vec<Fig8Row> {
+    c1_delays_min
+        .iter()
+        .map(|&d| {
+            let r = paper_run(
+                2,
+                &TargetCountWorkload::paper_table1(),
+                &[Some(30), Some(d)],
+                None,
+                PiggybackMode::SnOnly,
+                seed,
+            );
+            Fig8Row {
+                c1_delay_min: d,
+                c0_total: r.clusters[0].total_clcs(),
+                c1_total: r.clusters[1].total_clcs(),
+                c1_forced: r.clusters[1].forced_clcs,
+            }
+        })
+        .collect()
+}
+
+/// The paper's x axis for Figure 8 (minutes).
+pub fn figure8_delays() -> Vec<u64> {
+    vec![15, 20, 25, 30, 35, 40, 45, 50, 55, 60]
+}
+
+// --------------------------------------------------------------- Figure 9
+
+/// One sweep point of Figure 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Messages from cluster 1 to cluster 0.
+    pub reverse_msgs: u64,
+    /// Total CLCs in cluster 0.
+    pub c0_total: u64,
+    /// Forced CLCs in cluster 0.
+    pub c0_forced: u64,
+    /// Total CLCs in cluster 1.
+    pub c1_total: u64,
+    /// Forced CLCs in cluster 1.
+    pub c1_forced: u64,
+}
+
+/// Figure 9: both timers at 30 min; sweep the number of messages from
+/// cluster 1 to cluster 0. Forced CLCs grow quickly with reverse traffic.
+pub fn figure9(reverse_counts: &[u64], seed: u64) -> Vec<Fig9Row> {
+    reverse_counts
+        .iter()
+        .map(|&rev| {
+            let r = paper_run(
+                2,
+                &TargetCountWorkload::paper_with_reverse_count(rev),
+                &[Some(30), Some(30)],
+                None,
+                PiggybackMode::SnOnly,
+                seed,
+            );
+            Fig9Row {
+                reverse_msgs: rev,
+                c0_total: r.clusters[0].total_clcs(),
+                c0_forced: r.clusters[0].forced_clcs,
+                c1_total: r.clusters[1].total_clcs(),
+                c1_forced: r.clusters[1].forced_clcs,
+            }
+        })
+        .collect()
+}
+
+/// The paper's x axis for Figure 9 (message counts).
+pub fn figure9_counts() -> Vec<u64> {
+    vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110]
+}
+
+// ------------------------------------------------------------- Tables 2–3
+
+/// Table 2: per-GC stored-CLC counts before/after, two clusters, GC every
+/// two hours, 103 reverse messages (paper §5.4's sample).
+pub fn table2(seed: u64) -> RunReport {
+    paper_run(
+        2,
+        &TargetCountWorkload::paper_with_reverse_count(103),
+        &[Some(30), Some(30)],
+        Some(2),
+        PiggybackMode::SnOnly,
+        seed,
+    )
+}
+
+/// Table 3: the three-cluster variant (cluster 2 clones cluster 1, ~200
+/// messages leave/arrive per cluster).
+pub fn table3(seed: u64) -> RunReport {
+    let w = workload::presets::paper_three_clusters();
+    paper_run(
+        3,
+        &w,
+        &[Some(30), Some(30), Some(30)],
+        Some(2),
+        PiggybackMode::SnOnly,
+        seed,
+    )
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// One row of the SnOnly-vs-FullDdv ablation (paper §7's proposed
+/// transitivity extension).
+#[derive(Debug, Clone, Copy)]
+pub struct DdvAblationRow {
+    /// Clusters in the ring.
+    pub clusters: usize,
+    /// Total forced CLCs under SN-only piggybacking.
+    pub forced_sn_only: u64,
+    /// Total forced CLCs under full-DDV piggybacking.
+    pub forced_full_ddv: u64,
+}
+
+/// Compare forced-CLC counts between the two piggyback modes on a ring
+/// workload (0→1→…→n−1→0) where transitive knowledge pays off.
+pub fn ablation_ddv(cluster_counts: &[usize], seed: u64) -> Vec<DdvAblationRow> {
+    cluster_counts
+        .iter()
+        .map(|&n| {
+            let mut counts = vec![vec![0u64; n]; n];
+            for (i, row) in counts.iter_mut().enumerate() {
+                row[i] = 500;
+                row[(i + 1) % n] = 60;
+                // Every third cluster also reports two steps ahead,
+                // creating the transitive shortcut.
+                row[(i + 2) % n] += 20;
+            }
+            let w = TargetCountWorkload {
+                cluster_sizes: vec![100; n],
+                duration: SimDuration::from_hours(10),
+                counts,
+                payload_bytes: 1024,
+            };
+            let forced = |mode| {
+                let delays: Vec<Option<u64>> = vec![Some(30); n];
+                let r = paper_run(n, &w, &delays, None, mode, seed);
+                r.clusters.iter().map(|c| c.forced_clcs).sum::<u64>()
+            };
+            DdvAblationRow {
+                clusters: n,
+                forced_sn_only: forced(PiggybackMode::SnOnly),
+                forced_full_ddv: forced(PiggybackMode::FullDdv),
+            }
+        })
+        .collect()
+}
+
+/// One protocol's costs in the cross-protocol ablation.
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Checkpoints taken over the run.
+    pub checkpoints: u64,
+    /// Coordination messages.
+    pub protocol_messages: u64,
+    /// Mean clusters rolled back per fault.
+    pub mean_rollback_scope: f64,
+    /// Total lost node-seconds across faults.
+    pub lost_node_seconds: f64,
+    /// Peak message-log bytes held.
+    pub peak_log_bytes: u64,
+}
+
+/// Compare HC3I against the three baseline protocol families on the
+/// reference workload with one mid-run fault in each cluster.
+pub fn ablation_protocols(seed: u64) -> Vec<ProtocolRow> {
+    use baselines::{global, independent, pessimistic, BaselineInput};
+    use desim::SimTime;
+    use netsim::NodeId;
+
+    let w = TargetCountWorkload::paper_with_reverse_count(103);
+    let sends = w.schedule(&RngStreams::new(seed));
+    // Off-grid fault times (not multiples of the 30-minute checkpoint
+    // period), so every protocol has genuinely lost work to recover.
+    let fault_times = [
+        (SimTime::ZERO + SimDuration::from_minutes(3 * 60 + 17), 0usize),
+        (SimTime::ZERO + SimDuration::from_minutes(7 * 60 + 23), 1usize),
+    ];
+
+    // HC3I at full fidelity.
+    let mut cfg = SimConfig::new(Topology::paper_reference(2), w.duration)
+        .with_sends(sends.clone())
+        .with_seed(seed)
+        .with_clc_delay(0, SimDuration::from_minutes(30))
+        .with_clc_delay(1, SimDuration::from_minutes(30));
+    for &(at, cluster) in &fault_times {
+        cfg = cfg.with_fault(at, NodeId::new(cluster as u16, 7));
+    }
+    let hc3i = run(cfg);
+    let hc3i_lost: f64 = hc3i
+        .clusters
+        .iter()
+        .map(|c| c.work_lost.iter().map(|d| d.as_secs_f64() * 100.0).sum::<f64>())
+        .sum();
+    let mut rows = vec![ProtocolRow {
+        protocol: "hc3i".into(),
+        checkpoints: hc3i.clusters.iter().map(|c| c.total_clcs()).sum(),
+        protocol_messages: hc3i.protocol_messages,
+        mean_rollback_scope: if fault_times.is_empty() {
+            0.0
+        } else {
+            hc3i.total_rollbacks() as f64 / fault_times.len() as f64
+        },
+        lost_node_seconds: hc3i_lost,
+        peak_log_bytes: hc3i
+            .clusters
+            .iter()
+            .map(|c| c.peak_logged_messages * w.payload_bytes)
+            .sum(),
+    }];
+
+    let input = BaselineInput {
+        topology: Topology::paper_reference(2),
+        sends,
+        duration: w.duration,
+        ckpt_periods: vec![SimDuration::from_minutes(30); 2],
+        fragment_bytes: 4 << 20,
+        faults: fault_times.to_vec(),
+    };
+    for report in [
+        global::evaluate(&input),
+        independent::evaluate(&input),
+        pessimistic::evaluate(&input),
+    ] {
+        rows.push(ProtocolRow {
+            protocol: report.protocol.into(),
+            checkpoints: report.checkpoints,
+            protocol_messages: report.protocol_messages,
+            mean_rollback_scope: report.mean_rollback_scope(),
+            lost_node_seconds: report.total_lost_node_seconds(),
+            peak_log_bytes: report.peak_log_bytes,
+        });
+    }
+    rows
+}
+
+/// One row of the replication-degree ablation (paper §7: configurable
+/// degree of stable-storage replication).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationRow {
+    /// Replication degree (replicas per fragment).
+    pub degree: u32,
+    /// Guaranteed simultaneous faults tolerated in a 100-node cluster.
+    pub guaranteed_faults: u32,
+    /// Stable-storage copies per CLC per cluster (fragments).
+    pub copies_per_clc: u64,
+    /// Fraction of random 3-fault patterns that remain recoverable.
+    pub random_triple_fault_survival: f64,
+}
+
+/// Sweep the replication degree and measure cost vs fault tolerance.
+pub fn ablation_replication(degrees: &[u32], seed: u64) -> Vec<ReplicationRow> {
+    use rand::Rng;
+    use storage::ReplicationPolicy;
+    let n_nodes = 100u32;
+    degrees
+        .iter()
+        .map(|&degree| {
+            let policy = ReplicationPolicy::with_degree(degree);
+            let mut rng = RngStreams::new(seed).stream("replication", degree as u64);
+            let trials = 2_000;
+            let survived = (0..trials)
+                .filter(|_| {
+                    let mut picks = std::collections::HashSet::new();
+                    while picks.len() < 3 {
+                        picks.insert(rng.gen_range(0..n_nodes));
+                    }
+                    let failed: Vec<u32> = picks.into_iter().collect();
+                    policy.recoverable(&failed, n_nodes)
+                })
+                .count();
+            ReplicationRow {
+                degree,
+                guaranteed_faults: policy.guaranteed_faults(n_nodes),
+                copies_per_clc: (policy.copies() as u64) * n_nodes as u64,
+                random_triple_fault_survival: survived as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------- §5.2 overhead breakdown
+
+/// One row of the network/storage overhead breakdown (paper §5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadRow {
+    /// Cluster-0 CLC timer in minutes (`None` = no unforced CLCs anywhere).
+    pub delay_min: Option<u64>,
+    /// Total CLCs committed federation-wide.
+    pub total_clcs: u64,
+    /// Application payload bytes on the wire (incl. piggyback).
+    pub app_bytes: u64,
+    /// Protocol-control bytes (2PC rounds, fragments, alerts, GC).
+    pub protocol_bytes: u64,
+    /// Acknowledgement bytes.
+    pub ack_bytes: u64,
+    /// Protocol-control messages.
+    pub protocol_messages: u64,
+    /// Peak CLCs stored simultaneously (max over clusters).
+    pub peak_stored: usize,
+    /// Peak logged inter-cluster messages (sum over clusters).
+    pub peak_logged: u64,
+}
+
+/// The paper's §5.2 analysis: "If no CLC is initiated, the only protocol
+/// cost consists in logging optimistically in volatile memory inter-cluster
+/// messages and transmitting an integer (SN) with them." Sweep the timer
+/// from "never" downward and watch every cost component.
+pub fn overhead_breakdown(delays_min: &[Option<u64>], seed: u64) -> Vec<OverheadRow> {
+    delays_min
+        .iter()
+        .map(|&d| {
+            let r = paper_run(
+                2,
+                &TargetCountWorkload::paper_table1(),
+                &[d, None],
+                None,
+                PiggybackMode::SnOnly,
+                seed,
+            );
+            OverheadRow {
+                delay_min: d,
+                total_clcs: r.clusters.iter().map(|c| c.total_clcs()).sum(),
+                app_bytes: r.app_bytes,
+                protocol_bytes: r.protocol_bytes,
+                ack_bytes: r.ack_bytes,
+                protocol_messages: r.protocol_messages,
+                peak_stored: r.clusters.iter().map(|c| c.peak_stored_clcs).max().unwrap_or(0),
+                peak_logged: r.clusters.iter().map(|c| c.peak_logged_messages).sum(),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------ federation scaling
+
+/// One row of the federation-scaling sensitivity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Clusters in the federation (ring workload, 20 nodes each).
+    pub clusters: usize,
+    /// Total CLCs committed.
+    pub total_clcs: u64,
+    /// Forced CLCs committed.
+    pub forced_clcs: u64,
+    /// Protocol messages.
+    pub protocol_messages: u64,
+    /// Simulator events processed (cost of the run itself).
+    pub events: u64,
+    /// Piggyback overhead per inter-cluster message in bytes under
+    /// FullDdv (= 8 × clusters — the paper's point that the DDV scales
+    /// with the number of *clusters*, not nodes).
+    pub ddv_bytes: u64,
+}
+
+/// Scale the federation (ring traffic, fixed per-cluster rates) and watch
+/// protocol costs grow with the number of clusters.
+pub fn federation_scaling(cluster_counts: &[usize], seed: u64) -> Vec<ScalingRow> {
+    cluster_counts
+        .iter()
+        .map(|&n| {
+            let mut counts = vec![vec![0u64; n]; n];
+            for (i, row) in counts.iter_mut().enumerate() {
+                row[i] = 300;
+                row[(i + 1) % n] = 40;
+            }
+            let w = TargetCountWorkload {
+                cluster_sizes: vec![20; n],
+                duration: SimDuration::from_hours(10),
+                counts,
+                payload_bytes: 1024,
+            };
+            let sends = w.schedule(&RngStreams::new(seed));
+            let protocol = ProtocolConfig::new(vec![20; n]);
+            let ddv_bytes = protocol.ddv_bytes();
+            let mut cfg = SimConfig::new(
+                netsim::Topology::new(
+                    vec![
+                        netsim::ClusterSpec {
+                            nodes: 20,
+                            intra: netsim::LinkSpec::myrinet_like(),
+                        };
+                        n
+                    ],
+                    netsim::LinkSpec::ethernet_like(),
+                ),
+                w.duration,
+            )
+            .with_sends(sends)
+            .with_seed(seed)
+            .with_protocol(protocol);
+            for c in 0..n {
+                cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(30));
+            }
+            let r = run(cfg);
+            ScalingRow {
+                clusters: n,
+                total_clcs: r.clusters.iter().map(|c| c.total_clcs()).sum(),
+                forced_clcs: r.clusters.iter().map(|c| c.forced_clcs).sum(),
+                protocol_messages: r.protocol_messages,
+                events: r.events_processed,
+                ddv_bytes,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,55 @@
+//! End-to-end smoke tests of the `hc3i-sim` binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hc3i-sim")
+}
+
+#[test]
+fn sample_configs_then_run() {
+    let dir = std::env::temp_dir().join(format!("hc3i-cli-smoke-{}", std::process::id()));
+    let out = Command::new(bin())
+        .args(["sample-configs", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let arg = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let out = Command::new(bin())
+        .args([
+            "run",
+            "--topology",
+            &arg("topology.conf"),
+            "--application",
+            &arg("application.conf"),
+            "--timers",
+            &arg("timers.conf"),
+            "--seed",
+            "7",
+            "--fault",
+            "200:0:17",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("HC3I simulation report"));
+    assert!(stdout.contains("rollback #1"), "fault must appear: {stdout}");
+    assert!(!stdout.contains("WARNINGS"), "run must be clean: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_args_fail_with_usage() {
+    let out = Command::new(bin()).args(["run"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = Command::new(bin()).args(["bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

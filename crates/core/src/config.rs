@@ -1,0 +1,172 @@
+//! Protocol configuration.
+
+use netsim::NodeId;
+use storage::ReplicationPolicy;
+
+/// What inter-cluster application messages piggyback for dependency
+/// tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PiggybackMode {
+    /// The paper's protocol: piggyback the sender cluster's SN only.
+    #[default]
+    SnOnly,
+    /// The paper's §7 extension: piggyback the whole DDV, adding
+    /// transitivity to dependency tracking (fewer forced CLCs).
+    FullDdv,
+}
+
+/// Wire-size model for protocol messages (drives the network cost
+/// accounting; the protocol logic itself never reads these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSizes {
+    /// Size of a bare control message (requests, acks, commits, alerts).
+    pub control: u64,
+    /// Size of an inter-cluster application-message acknowledgement.
+    pub ack: u64,
+    /// Size of one node's checkpoint fragment (replicated to neighbours at
+    /// every CLC — the dominant storage/network cost of checkpointing).
+    pub fragment: u64,
+    /// Bytes added per DDV entry when a DDV travels on the wire.
+    pub per_ddv_entry: u64,
+}
+
+impl Default for WireSizes {
+    fn default() -> Self {
+        WireSizes {
+            control: 64,
+            ack: 16,
+            fragment: 4 << 20, // 4 MiB of process state per node
+            per_ddv_entry: 8,
+        }
+    }
+}
+
+/// Static configuration shared by every node engine of a federation.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Nodes per cluster, indexed by cluster.
+    pub cluster_sizes: Vec<u32>,
+    /// SN-only (paper) or full-DDV (paper §7 extension) piggybacking.
+    pub piggyback: PiggybackMode,
+    /// In-cluster stable-storage replication policy.
+    pub replication: ReplicationPolicy,
+    /// Wire-size model.
+    pub sizes: WireSizes,
+    /// How many *simultaneous cluster failures* the garbage collector must
+    /// preserve recovery lines for (paper §7 extension; the paper's
+    /// protocol is `1`).
+    pub gc_fault_tolerance: usize,
+}
+
+impl ProtocolConfig {
+    /// Config for `cluster_sizes` with paper defaults everywhere else.
+    pub fn new(cluster_sizes: Vec<u32>) -> Self {
+        assert!(
+            !cluster_sizes.is_empty(),
+            "a federation needs at least one cluster"
+        );
+        assert!(
+            cluster_sizes.iter().all(|&n| n > 0),
+            "clusters cannot be empty"
+        );
+        ProtocolConfig {
+            cluster_sizes,
+            piggyback: PiggybackMode::default(),
+            replication: ReplicationPolicy::paper_default(),
+            sizes: WireSizes::default(),
+            gc_fault_tolerance: 1,
+        }
+    }
+
+    /// Switch the piggyback mode.
+    pub fn with_piggyback(mut self, mode: PiggybackMode) -> Self {
+        self.piggyback = mode;
+        self
+    }
+
+    /// Switch the replication policy.
+    pub fn with_replication(mut self, policy: ReplicationPolicy) -> Self {
+        self.replication = policy;
+        self
+    }
+
+    /// Override wire sizes.
+    pub fn with_sizes(mut self, sizes: WireSizes) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Make the GC preserve recovery lines for up to `k` simultaneous
+    /// cluster failures (paper §7 extension).
+    pub fn with_gc_fault_tolerance(mut self, k: usize) -> Self {
+        assert!(k >= 1, "must tolerate at least one failure");
+        self.gc_fault_tolerance = k;
+        self
+    }
+
+    /// Number of clusters in the federation.
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// Number of nodes in cluster `c`.
+    pub fn nodes_in(&self, c: usize) -> u32 {
+        self.cluster_sizes[c]
+    }
+
+    /// The default coordinator node of cluster `c` (rank 0). Recovery may
+    /// move the coordinator role to another rank; this is only the initial
+    /// assignment.
+    pub fn initial_coordinator(&self, c: usize) -> NodeId {
+        NodeId::new(c as u16, 0)
+    }
+
+    /// Wire size of a DDV of federation dimension.
+    pub fn ddv_bytes(&self) -> u64 {
+        self.sizes.per_ddv_entry * self.num_clusters() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ProtocolConfig::new(vec![100, 100]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.nodes_in(1), 100);
+        assert_eq!(c.piggyback, PiggybackMode::SnOnly);
+        assert_eq!(c.replication.degree(), 1);
+        assert_eq!(c.initial_coordinator(1), NodeId::new(1, 0));
+        assert_eq!(c.ddv_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn rejects_empty_federation() {
+        ProtocolConfig::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn rejects_empty_cluster() {
+        ProtocolConfig::new(vec![4, 0]);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ProtocolConfig::new(vec![2])
+            .with_piggyback(PiggybackMode::FullDdv)
+            .with_replication(storage::ReplicationPolicy::with_degree(2))
+            .with_sizes(WireSizes {
+                control: 1,
+                ack: 2,
+                fragment: 3,
+                per_ddv_entry: 4,
+            });
+        assert_eq!(c.piggyback, PiggybackMode::FullDdv);
+        assert_eq!(c.replication.degree(), 2);
+        assert_eq!(c.sizes.fragment, 3);
+    }
+}

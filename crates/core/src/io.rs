@@ -1,0 +1,123 @@
+//! Engine inputs and outputs.
+//!
+//! The node engine is a pure state machine: it consumes one [`Input`] at a
+//! time and returns the [`Output`] actions the hosting engine (discrete-
+//! event simulator or threaded runtime) must perform. This is what lets the
+//! identical protocol code run under both substrates.
+
+use crate::msg::{AppPayload, Msg};
+use netsim::NodeId;
+use storage::SeqNum;
+
+/// One stimulus for a node engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// A message arrived from `from`.
+    Receive {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// The application wants to send `payload` to `to`.
+    AppSend {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        payload: AppPayload,
+    },
+    /// The cluster's periodic (unforced) CLC timer fired. Only meaningful at
+    /// the cluster coordinator.
+    ClcTimer,
+    /// The federation GC timer fired. Only meaningful at the GC initiator.
+    GcTimer,
+    /// This node fails (fail-stop). It stops reacting to everything except a
+    /// `RollbackOrder`, which revives it from stable storage.
+    Fail,
+    /// The failure detector reports `failed_rank` down. Delivered by the
+    /// hosting engine to the surviving node that should coordinate recovery.
+    DetectFault {
+        /// The failed node's rank within this cluster.
+        failed_rank: u32,
+    },
+    /// The failure detector reports several **simultaneous** in-cluster
+    /// failures (paper §7 extension, meaningful with replication degree
+    /// > 1). Recoverability is checked for the whole set at once.
+    DetectFaults {
+        /// The failed ranks within this cluster.
+        failed_ranks: Vec<u32>,
+    },
+    /// The local application publishes its serialized state. The engine
+    /// includes the most recent snapshot in every staged checkpoint and
+    /// returns it via [`Output::RestoreApp`] after a rollback. (The paper's
+    /// system model: the node "is able to save the processes states".)
+    AppStateUpdate {
+        /// Serialized application state.
+        state: Vec<u8>,
+    },
+}
+
+/// One action requested by a node engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Put `msg` on the wire to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Hand `payload` to the local application.
+    DeliverApp {
+        /// Original sender.
+        from: NodeId,
+        /// Payload.
+        payload: AppPayload,
+    },
+    /// A CLC committed in this node's cluster (emitted by the coordinator
+    /// only, once per CLC).
+    Committed {
+        /// The committed sequence number.
+        sn: SeqNum,
+        /// Whether an inter-cluster message forced it.
+        forced: bool,
+    },
+    /// This node restored the CLC numbered `restore_sn`.
+    RolledBack {
+        /// Restored sequence number.
+        restore_sn: SeqNum,
+        /// How many newer CLCs were discarded.
+        discarded_clcs: usize,
+    },
+    /// (Re-)arm the cluster's unforced-CLC timer (coordinator only; the
+    /// hosting engine applies the configured delay, cancelling any pending
+    /// timer — the paper resets the timer at every commit).
+    ResetClcTimer,
+    /// Garbage collection ran on this node's cluster (coordinator only).
+    GcReport {
+        /// Stored CLCs before pruning.
+        before: usize,
+        /// Stored CLCs after pruning.
+        after: usize,
+    },
+    /// The cluster cannot recover the failed node's fragment (more
+    /// simultaneous faults than the replication degree tolerates).
+    Unrecoverable {
+        /// The rank whose fragment is lost.
+        failed_rank: u32,
+    },
+    /// Consistency monitor: an intra-cluster message crossed a checkpoint
+    /// boundary outside a freeze window (should never happen while the
+    /// freeze-window assumption holds; counted, not fatal).
+    LateCrossing {
+        /// Sender of the crossing message.
+        from: NodeId,
+    },
+    /// A rollback restored this application state (emitted right before
+    /// the channel-state re-deliveries; `None` when the application never
+    /// published a snapshot before the restored checkpoint).
+    RestoreApp {
+        /// The serialized state captured in the restored checkpoint.
+        state: Option<Vec<u8>>,
+    },
+}

@@ -1,0 +1,47 @@
+//! # hc3i-core — the HC3I checkpointing protocol
+//!
+//! Implementation of the paper's contribution: a **H**ierarchical protocol
+//! **C**ombining **C**oordinated and **C**ommunication-**I**nduced
+//! checkpointing for parallel applications in cluster federations
+//! (Monnet, Morin, Badrinath — FTPDS/IPDPS 2004).
+//!
+//! * Inside a cluster: coordinated checkpointing via a two-phase commit
+//!   with frozen application messages and neighbour-replicated stable
+//!   storage (§3.1).
+//! * Between clusters: communication-induced checkpointing driven by
+//!   piggybacked sequence numbers and per-cluster Direct Dependency
+//!   Vectors; receivers force a CLC before delivering a message that
+//!   carries a newer dependency (§3.2).
+//! * Sender-side optimistic message logging limits how many clusters roll
+//!   back (§3.3); rollback alerts cascade until the recovery line is
+//!   reached (§3.4); a centralized garbage collector prunes CLCs and logs
+//!   no failure could ever need (§3.5).
+//!
+//! The protocol is packaged as a per-node state machine ([`NodeEngine`]):
+//! feed it [`Input`]s, perform the [`Output`]s. Both the discrete-event
+//! simulator (`simdriver`) and the hand-rolled threaded messaging runtime
+//! (`runtime`) drive this same type, so simulation results and live-runtime
+//! behaviour come from identical protocol code.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod config;
+pub mod gc;
+pub mod io;
+pub mod msg;
+pub mod node;
+pub mod persist;
+pub mod recovery;
+pub mod testkit;
+
+pub use checkpoint::NodeCheckpoint;
+pub use config::{PiggybackMode, ProtocolConfig, WireSizes};
+pub use io::{Input, Output};
+pub use msg::{AppPayload, ClcReason, Msg, Piggyback};
+pub use node::NodeEngine;
+pub use recovery::{is_consistent_cut, recovery_line, recovery_line_multi, RecoveryLine};
+
+// Re-export the storage vocabulary used throughout the public API.
+pub use storage::{ClcMeta, Ddv, LogId, ReplicationPolicy, SeqNum};

@@ -1,0 +1,1080 @@
+//! The per-node HC3I protocol engine.
+//!
+//! One [`NodeEngine`] per node of the federation. The engine is a pure
+//! state machine ([`NodeEngine::handle`] consumes an [`Input`], returns
+//! [`Output`] actions) so the identical protocol code runs under the
+//! discrete-event simulator and the threaded message-passing runtime.
+//!
+//! Protocol roles:
+//!
+//! * every node: freeze/stage/commit in the intra-cluster two-phase commit,
+//!   fragment replication to neighbours, CIC checks on incoming
+//!   inter-cluster messages, sender-side logging, alert-driven replay;
+//! * the cluster **coordinator** (rank 0): serializes CLC rounds, owns the
+//!   unforced-CLC timer, coordinates rollback and relays alerts;
+//! * the **GC initiator** (cluster 0's coordinator): runs the centralized
+//!   garbage collection of §3.5.
+
+use crate::checkpoint::NodeCheckpoint;
+use crate::config::{PiggybackMode, ProtocolConfig};
+use crate::gc;
+use crate::io::{Input, Output};
+use crate::msg::{AppPayload, ClcReason, Msg, Piggyback};
+use desim::SimTime;
+use netsim::NodeId;
+use std::collections::{BTreeMap, HashSet};
+use storage::{ClcMeta, ClcStore, Ddv, LogId, MessageLog, SeqNum};
+
+/// An inter-cluster message held until a forced CLC commits (paper §3.2:
+/// "the application takes messages into account only when the forced CLC is
+/// committed").
+#[derive(Debug, Clone)]
+struct PendingInter {
+    from: NodeId,
+    payload: AppPayload,
+    piggyback: Piggyback,
+    log_id: LogId,
+}
+
+/// State held between a `ClcRequest` and the matching `ClcCommit`.
+#[derive(Debug)]
+struct FrozenState {
+    round: u64,
+    staged: NodeCheckpoint,
+    /// Replica holders that have not yet confirmed storing our fragment.
+    awaiting_frag: HashSet<u32>,
+    /// Whether our ClcAck has been sent to the coordinator.
+    acked: bool,
+    /// Intra-cluster app messages captured during the freeze (channel
+    /// state): recorded in the checkpoint *and* delivered at commit.
+    channel_msgs: Vec<(NodeId, AppPayload)>,
+    /// Inter-cluster app messages received during the freeze, re-processed
+    /// at commit.
+    deferred: Vec<(NodeId, Msg)>,
+    /// Application sends issued during the freeze, sent at commit.
+    out_queue: Vec<(NodeId, AppPayload)>,
+}
+
+/// A CLC round in progress at the coordinator.
+#[derive(Debug)]
+struct RoundState {
+    round: u64,
+    acks: HashSet<u32>,
+    reasons: Vec<ClcReason>,
+}
+
+/// Coordinator-only state.
+#[derive(Debug, Default)]
+struct CoordState {
+    next_round: u64,
+    current: Option<RoundState>,
+    /// Reasons that arrived while a round was running.
+    queued: Vec<ClcReason>,
+}
+
+/// GC-initiator-only state: DDV lists collected so far.
+#[derive(Debug)]
+struct GcState {
+    lists: BTreeMap<usize, Vec<(SeqNum, Ddv)>>,
+}
+
+/// The per-node protocol engine.
+#[derive(Debug)]
+pub struct NodeEngine {
+    cfg: ProtocolConfig,
+    id: NodeId,
+    /// Rank coordinating this cluster (fixed at 0; a failed coordinator is
+    /// revived by the rollback that recovery performs).
+    coordinator_rank: u32,
+    /// Rollback epoch: bumped on every cluster rollback, stamps intra-
+    /// cluster control messages so stale rounds are discarded.
+    epoch: u64,
+    sn: SeqNum,
+    ddv: Ddv,
+    store: ClcStore<NodeCheckpoint>,
+    log: MessageLog<AppPayload>,
+    /// Delivery record for inter-cluster duplicate suppression:
+    /// `(sender, log id) -> SN at delivery`. Checkpointed.
+    delivered: std::collections::HashMap<(NodeId, u64), SeqNum>,
+    /// Inter-cluster messages awaiting a forced CLC.
+    pending_inter: Vec<PendingInter>,
+    frozen: Option<FrozenState>,
+    coord: CoordState,
+    gc: Option<GcState>,
+    failed: bool,
+    /// Count of intra-cluster messages observed crossing a checkpoint
+    /// boundary outside a freeze window (consistency monitor).
+    late_crossings: u64,
+    /// Ghost floor per origin cluster: inter-cluster messages stamped with
+    /// an epoch below this are in-flight sends of a dead incarnation.
+    min_epoch: Vec<u64>,
+    /// Highest alert epoch processed per origin cluster (alert dedup).
+    alert_seen: Vec<u64>,
+    /// Application-material activity (delivery, send, commit) since the
+    /// last restore; a re-restore of the latest CLC with no activity is a
+    /// no-op and must not re-alert (terminates echo cascades).
+    dirty: bool,
+    /// Latest serialized application state published by the host.
+    app_state: Option<Vec<u8>>,
+}
+
+impl NodeEngine {
+    /// Create the engine for node `id`. Every node starts with the initial
+    /// CLC already committed ("each cluster stores a first CLC which is the
+    /// beginning of the application", paper §4), so `SN = 1`.
+    pub fn new(cfg: ProtocolConfig, id: NodeId) -> Self {
+        let n = cfg.num_clusters();
+        assert!(id.cluster.index() < n, "node's cluster out of range");
+        assert!(
+            id.rank < cfg.nodes_in(id.cluster.index()),
+            "node rank out of range"
+        );
+        let initial_sn = SeqNum(1);
+        let mut ddv = Ddv::zeros(n);
+        ddv.set(id.cluster.index(), initial_sn);
+        let mut store = ClcStore::new();
+        store.commit(
+            ClcMeta {
+                sn: initial_sn,
+                ddv: ddv.clone(),
+                committed_at: SimTime::ZERO,
+                forced: false,
+            },
+            NodeCheckpoint::default(),
+        );
+        NodeEngine {
+            cfg,
+            id,
+            coordinator_rank: 0,
+            epoch: 0,
+            sn: initial_sn,
+            ddv,
+            store,
+            log: MessageLog::new(),
+            delivered: std::collections::HashMap::new(),
+            pending_inter: vec![],
+            frozen: None,
+            coord: CoordState::default(),
+            gc: None,
+            failed: false,
+            late_crossings: 0,
+            min_epoch: vec![0; n],
+            alert_seen: vec![0; n],
+            dirty: false,
+            app_state: None,
+        }
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+    /// Current cluster sequence number.
+    pub fn sn(&self) -> SeqNum {
+        self.sn
+    }
+    /// Current DDV.
+    pub fn ddv(&self) -> &Ddv {
+        &self.ddv
+    }
+    /// The CLC store.
+    pub fn store(&self) -> &ClcStore<NodeCheckpoint> {
+        &self.store
+    }
+    /// The sender-side message log.
+    pub fn log(&self) -> &MessageLog<AppPayload> {
+        &self.log
+    }
+    /// Whether the node is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+    /// Whether the node currently acts as its cluster's coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.id.rank == self.coordinator_rank
+    }
+    /// Whether a CLC two-phase commit is in progress on this node.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+    /// Messages held for a pending forced CLC.
+    pub fn pending_inter_count(&self) -> usize {
+        self.pending_inter.len()
+    }
+    /// Consistency monitor: checkpoint-crossing intra messages seen.
+    pub fn late_crossings(&self) -> u64 {
+        self.late_crossings
+    }
+    /// Current rollback epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn my_cluster(&self) -> usize {
+        self.id.cluster.index()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        self.cfg.nodes_in(self.my_cluster())
+    }
+
+    fn coordinator_of(&self, cluster: usize) -> NodeId {
+        NodeId::new(cluster as u16, 0)
+    }
+
+    fn current_piggyback(&self) -> Piggyback {
+        match self.cfg.piggyback {
+            PiggybackMode::SnOnly => Piggyback::Sn(self.sn),
+            PiggybackMode::FullDdv => Piggyback::Ddv(self.ddv.clone()),
+        }
+    }
+
+    /// Does an incoming piggyback require a forced CLC before delivery?
+    fn needs_forced_clc(&self, piggyback: &Piggyback, sender_cluster: usize) -> bool {
+        match piggyback {
+            Piggyback::Sn(sn) => *sn > self.ddv.get(sender_cluster),
+            Piggyback::Ddv(ddv) => !ddv.dominated_by(&self.ddv),
+        }
+    }
+
+    // ---- main dispatch ---------------------------------------------------
+
+    /// Feed one input; returns the actions the hosting engine must perform.
+    pub fn handle(&mut self, now: SimTime, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.failed {
+            // A failed node reacts only to the rollback order that revives
+            // it from stable storage.
+            if let Input::Receive {
+                msg:
+                    Msg::RollbackOrder {
+                        restore_sn,
+                        epoch,
+                        new_coordinator,
+                    },
+                ..
+            } = &input
+            {
+                self.apply_rollback(*restore_sn, *epoch, *new_coordinator, &mut out);
+            }
+            return out;
+        }
+        match input {
+            Input::Receive { from, msg } => self.handle_msg(now, from, msg, &mut out),
+            Input::AppSend { to, payload } => self.app_send(to, payload, &mut out),
+            Input::ClcTimer => self.on_clc_timer(now, &mut out),
+            Input::GcTimer => self.on_gc_timer(&mut out),
+            Input::Fail => {
+                self.failed = true;
+            }
+            Input::DetectFault { failed_rank } => {
+                self.on_detect_faults(&[failed_rank], &mut out)
+            }
+            Input::DetectFaults { failed_ranks } => {
+                self.on_detect_faults(&failed_ranks, &mut out)
+            }
+            Input::AppStateUpdate { state } => {
+                self.app_state = Some(state);
+            }
+        }
+        out
+    }
+
+    fn handle_msg(&mut self, now: SimTime, from: NodeId, msg: Msg, out: &mut Vec<Output>) {
+        match msg {
+            // ---- 2PC ----
+            Msg::ClcInit { reason, epoch } => {
+                if epoch == self.epoch && self.is_coordinator() {
+                    self.coord_init(now, reason, out);
+                }
+            }
+            Msg::ClcRequest { round, epoch } => {
+                if epoch == self.epoch {
+                    self.freeze_and_stage(now, round, out);
+                }
+            }
+            Msg::FragmentReplica { round, owner, epoch } => {
+                if epoch == self.epoch {
+                    // Store of the replica content is implicit (metadata
+                    // level); confirm to the owner.
+                    self.send_or_local(
+                        now,
+                        NodeId::new(self.id.cluster.0, owner),
+                        Msg::FragmentStored {
+                            round,
+                            holder: self.id.rank,
+                            epoch,
+                        },
+                        out,
+                    );
+                }
+            }
+            Msg::FragmentStored { round, holder, epoch } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let mut ack_now = false;
+                if let Some(f) = self.frozen.as_mut() {
+                    if f.round == round {
+                        f.awaiting_frag.remove(&holder);
+                        if f.awaiting_frag.is_empty() && !f.acked {
+                            f.acked = true;
+                            ack_now = true;
+                        }
+                    }
+                }
+                if ack_now {
+                    let rank = self.id.rank;
+                    self.send_or_local(
+                        now,
+                        NodeId::new(self.id.cluster.0, self.coordinator_rank),
+                        Msg::ClcAck {
+                            round,
+                            rank,
+                            epoch: self.epoch,
+                        },
+                        out,
+                    );
+                }
+            }
+            Msg::ClcAck { round, rank, epoch } => {
+                if epoch == self.epoch && self.is_coordinator() {
+                    self.coord_ack(now, round, rank, out);
+                }
+            }
+            Msg::ClcCommit {
+                round,
+                sn,
+                ddv,
+                forced,
+                epoch,
+            } => {
+                if epoch == self.epoch {
+                    self.apply_commit(now, round, sn, ddv, forced, out);
+                }
+            }
+
+            // ---- application ----
+            Msg::AppIntra { payload, sent_at_sn } => {
+                if let Some(f) = self.frozen.as_mut() {
+                    // Channel state: recorded in the checkpoint, delivered
+                    // at commit.
+                    f.channel_msgs.push((from, payload));
+                } else {
+                    if sent_at_sn != self.sn {
+                        self.late_crossings += 1;
+                        out.push(Output::LateCrossing { from });
+                    }
+                    self.dirty = true;
+                    out.push(Output::DeliverApp { from, payload });
+                }
+            }
+            Msg::AppInter {
+                payload,
+                piggyback,
+                log_id,
+                resend,
+                sender_epoch,
+            } => {
+                // Ghost rejection: a message stamped with an epoch below
+                // the known floor was sent by an incarnation whose
+                // execution has been rolled back — it must not exist.
+                let origin = from.cluster.index();
+                if sender_epoch < self.min_epoch[origin] {
+                    return;
+                }
+                if sender_epoch > self.min_epoch[origin] {
+                    self.min_epoch[origin] = sender_epoch;
+                }
+                if let Some(f) = self.frozen.as_mut() {
+                    f.deferred.push((
+                        from,
+                        Msg::AppInter {
+                            payload,
+                            piggyback,
+                            log_id,
+                            resend,
+                            sender_epoch,
+                        },
+                    ));
+                } else {
+                    self.recv_inter(now, from, payload, piggyback, log_id, out);
+                }
+            }
+            Msg::InterAck { log_id, receiver_sn } => {
+                // The entry may have been truncated by a sender-side
+                // rollback; a stale ack is then simply dropped.
+                let _ = self.log.ack(log_id, receiver_sn);
+            }
+
+            // ---- rollback ----
+            Msg::RollbackOrder {
+                restore_sn,
+                epoch,
+                new_coordinator,
+            } => {
+                self.apply_rollback(restore_sn, epoch, new_coordinator, out);
+            }
+            Msg::RollbackAlert {
+                origin,
+                sn,
+                origin_epoch,
+            } => {
+                if self.is_coordinator() {
+                    self.on_alert(now, origin, sn, origin_epoch, out);
+                }
+            }
+            Msg::AlertLocal {
+                origin,
+                sn,
+                origin_epoch,
+            } => {
+                self.min_epoch[origin] = self.min_epoch[origin].max(origin_epoch);
+                self.resend_logged(origin, sn, out);
+            }
+
+            // ---- garbage collection ----
+            Msg::GcCollect => {
+                let list = self.store.ddv_list();
+                self.send_or_local(
+                    now,
+                    from,
+                    Msg::GcDdvList {
+                        cluster: self.my_cluster(),
+                        list,
+                    },
+                    out,
+                );
+            }
+            Msg::GcDdvList { cluster, list } => {
+                self.on_gc_list(now, cluster, list, out);
+            }
+            Msg::GcPrune { min_sns } => {
+                // A coordinator hearing this from outside its cluster
+                // relays it to its own nodes.
+                if self.is_coordinator() && from.cluster != self.id.cluster {
+                    for rank in self.other_ranks() {
+                        out.push(Output::Send {
+                            to: NodeId::new(self.id.cluster.0, rank),
+                            msg: Msg::GcPrune {
+                                min_sns: min_sns.clone(),
+                            },
+                        });
+                    }
+                }
+                self.apply_gc_prune(&min_sns, out);
+            }
+        }
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    /// Ranks of every other node in this cluster.
+    fn other_ranks(&self) -> Vec<u32> {
+        (0..self.cluster_size())
+            .filter(|&r| r != self.id.rank)
+            .collect()
+    }
+
+    /// Send `msg` to `to`, short-circuiting messages to self.
+    fn send_or_local(&mut self, now: SimTime, to: NodeId, msg: Msg, out: &mut Vec<Output>) {
+        if to == self.id {
+            self.handle_msg(now, to, msg, out);
+        } else {
+            out.push(Output::Send { to, msg });
+        }
+    }
+
+    /// Broadcast `msg` to every other node of this cluster, then apply it
+    /// locally.
+    fn broadcast_cluster(&mut self, now: SimTime, msg: Msg, out: &mut Vec<Output>) {
+        for rank in self.other_ranks() {
+            out.push(Output::Send {
+                to: NodeId::new(self.id.cluster.0, rank),
+                msg: msg.clone(),
+            });
+        }
+        self.handle_msg(now, self.id, msg, out);
+    }
+
+    // ---- application sends -----------------------------------------------
+
+    fn app_send(&mut self, to: NodeId, payload: AppPayload, out: &mut Vec<Output>) {
+        assert!(to != self.id, "self-sends are not messages");
+        if let Some(f) = self.frozen.as_mut() {
+            // Application messages are frozen during the 2PC (paper §3.1).
+            f.out_queue.push((to, payload));
+            return;
+        }
+        self.do_send(to, payload, out);
+    }
+
+    fn do_send(&mut self, to: NodeId, payload: AppPayload, out: &mut Vec<Output>) {
+        if to.cluster == self.id.cluster {
+            out.push(Output::Send {
+                to,
+                msg: Msg::AppIntra {
+                    payload,
+                    sent_at_sn: self.sn,
+                },
+            });
+        } else {
+            // Optimistic sender-side log (paper §3.3), then send with the
+            // piggybacked dependency information (paper §3.2).
+            let log_id = self.log.log(
+                to.cluster.index(),
+                to.rank,
+                payload,
+                payload.bytes,
+                self.sn,
+            );
+            self.dirty = true;
+            out.push(Output::Send {
+                to,
+                msg: Msg::AppInter {
+                    payload,
+                    piggyback: self.current_piggyback(),
+                    log_id,
+                    resend: false,
+                    sender_epoch: self.epoch,
+                },
+            });
+        }
+    }
+
+    // ---- inter-cluster receive (the CIC rule) ------------------------------
+
+    fn recv_inter(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        payload: AppPayload,
+        piggyback: Piggyback,
+        log_id: LogId,
+        out: &mut Vec<Output>,
+    ) {
+        // Duplicate (an original raced a replay): re-acknowledge with the
+        // SN recorded at first delivery.
+        if let Some(&ack_sn) = self.delivered.get(&(from, log_id.0)) {
+            out.push(Output::Send {
+                to: from,
+                msg: Msg::InterAck {
+                    log_id,
+                    receiver_sn: ack_sn,
+                },
+            });
+            return;
+        }
+        if self.needs_forced_clc(&piggyback, from.cluster.index()) {
+            // Hold the message and ask the coordinator for a forced CLC
+            // (paper §3.2: delivered only once the forced CLC commits).
+            let reason = ClcReason::Forced(piggyback.clone(), from.cluster.index());
+            self.pending_inter.push(PendingInter {
+                from,
+                payload,
+                piggyback,
+                log_id,
+            });
+            let epoch = self.epoch;
+            self.send_or_local(
+                now,
+                NodeId::new(self.id.cluster.0, self.coordinator_rank),
+                Msg::ClcInit { reason, epoch },
+                out,
+            );
+        } else {
+            self.deliver_inter(from, payload, log_id, out);
+        }
+    }
+
+    fn deliver_inter(
+        &mut self,
+        from: NodeId,
+        payload: AppPayload,
+        log_id: LogId,
+        out: &mut Vec<Output>,
+    ) {
+        self.dirty = true;
+        self.delivered.insert((from, log_id.0), self.sn);
+        out.push(Output::DeliverApp { from, payload });
+        out.push(Output::Send {
+            to: from,
+            msg: Msg::InterAck {
+                log_id,
+                receiver_sn: self.sn,
+            },
+        });
+    }
+
+    /// After a commit (or rollback) re-examine held inter-cluster messages.
+    fn recheck_pending(&mut self, out: &mut Vec<Output>) {
+        let mut still_pending = Vec::new();
+        for p in std::mem::take(&mut self.pending_inter) {
+            if self.needs_forced_clc(&p.piggyback, p.from.cluster.index()) {
+                still_pending.push(p);
+            } else {
+                self.deliver_inter(p.from, p.payload, p.log_id, out);
+            }
+        }
+        self.pending_inter = still_pending;
+    }
+
+    // ---- 2PC: node side ----------------------------------------------------
+
+    fn freeze_and_stage(&mut self, now: SimTime, round: u64, out: &mut Vec<Output>) {
+        if self.frozen.is_some() {
+            // Duplicate request within a round (cannot happen with a
+            // correct coordinator); ignore.
+            return;
+        }
+        let staged = NodeCheckpoint {
+            delivered: self.delivered.clone(),
+            channel_state: vec![],
+            app_state: self.app_state.clone(),
+        };
+        let holders = self
+            .cfg
+            .replication
+            .replica_holders(self.id.rank, self.cluster_size());
+        for &h in &holders {
+            out.push(Output::Send {
+                to: NodeId::new(self.id.cluster.0, h),
+                msg: Msg::FragmentReplica {
+                    round,
+                    owner: self.id.rank,
+                    epoch: self.epoch,
+                },
+            });
+        }
+        let awaiting: HashSet<u32> = holders.into_iter().collect();
+        let ack_immediately = awaiting.is_empty();
+        self.frozen = Some(FrozenState {
+            round,
+            staged,
+            awaiting_frag: awaiting,
+            acked: ack_immediately,
+            channel_msgs: vec![],
+            deferred: vec![],
+            out_queue: vec![],
+        });
+        if ack_immediately {
+            let rank = self.id.rank;
+            let epoch = self.epoch;
+            let coord = NodeId::new(self.id.cluster.0, self.coordinator_rank);
+            self.send_or_local(now, coord, Msg::ClcAck { round, rank, epoch }, out);
+        }
+    }
+
+    fn apply_commit(
+        &mut self,
+        now: SimTime,
+        round: u64,
+        sn: SeqNum,
+        ddv: Ddv,
+        forced: bool,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(frozen) = self.frozen.take() else {
+            return; // stale commit after a rollback
+        };
+        if frozen.round != round {
+            self.frozen = Some(frozen);
+            return;
+        }
+        let FrozenState {
+            mut staged,
+            channel_msgs,
+            deferred,
+            out_queue,
+            ..
+        } = frozen;
+        staged.channel_state = channel_msgs.clone();
+        self.store.commit(
+            ClcMeta {
+                sn,
+                ddv: ddv.clone(),
+                committed_at: now,
+                forced,
+            },
+            staged,
+        );
+        self.sn = sn;
+        self.ddv = ddv;
+        self.dirty = true;
+        if self.is_coordinator() {
+            out.push(Output::Committed { sn, forced });
+            out.push(Output::ResetClcTimer);
+        }
+        // Deliver the channel state (messages that arrived while frozen).
+        for (from, payload) in channel_msgs {
+            out.push(Output::DeliverApp { from, payload });
+        }
+        // Held inter-cluster messages may now be deliverable.
+        self.recheck_pending(out);
+        // Re-process inter-cluster messages deferred by the freeze.
+        for (from, msg) in deferred {
+            self.handle_msg(now, from, msg, out);
+        }
+        // Release the application sends queued during the freeze.
+        for (to, payload) in out_queue {
+            if let Some(f) = self.frozen.as_mut() {
+                // A nested forced round already started; keep them frozen.
+                f.out_queue.push((to, payload));
+            } else {
+                self.do_send(to, payload, out);
+            }
+        }
+        // Coordinator: start a follow-up round if relevant reasons queued.
+        if self.is_coordinator() {
+            self.coord_maybe_start(now, out);
+        }
+    }
+
+    // ---- 2PC: coordinator side ---------------------------------------------
+
+    fn coord_init(&mut self, now: SimTime, reason: ClcReason, out: &mut Vec<Output>) {
+        if !self.reason_relevant(&reason) {
+            return;
+        }
+        match self.coord.current {
+            Some(ref mut round) => round.reasons.push(reason),
+            None => {
+                self.coord.queued.push(reason);
+                self.coord_maybe_start(now, out);
+            }
+        }
+    }
+
+    fn on_clc_timer(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        if !self.is_coordinator() {
+            return;
+        }
+        self.coord_init(now, ClcReason::Timer, out);
+    }
+
+    fn reason_relevant(&self, reason: &ClcReason) -> bool {
+        match reason {
+            ClcReason::Timer => true,
+            ClcReason::Forced(piggy, cluster) => self.needs_forced_clc(piggy, *cluster),
+        }
+    }
+
+    fn coord_maybe_start(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        if self.coord.current.is_some() {
+            return;
+        }
+        let reasons: Vec<ClcReason> = std::mem::take(&mut self.coord.queued)
+            .into_iter()
+            .filter(|r| self.reason_relevant(r))
+            .collect();
+        if reasons.is_empty() {
+            return;
+        }
+        self.coord.next_round += 1;
+        let round = self.coord.next_round;
+        self.coord.current = Some(RoundState {
+            round,
+            acks: HashSet::new(),
+            reasons,
+        });
+        let epoch = self.epoch;
+        self.broadcast_cluster(now, Msg::ClcRequest { round, epoch }, out);
+    }
+
+    fn coord_ack(&mut self, now: SimTime, round: u64, rank: u32, out: &mut Vec<Output>) {
+        let size = self.cluster_size();
+        let complete = match self.coord.current.as_mut() {
+            Some(r) if r.round == round => {
+                r.acks.insert(rank);
+                r.acks.len() as u32 == size
+            }
+            _ => false,
+        };
+        if !complete {
+            return;
+        }
+        let round_state = self.coord.current.take().expect("round exists");
+        // Compute the committed stamp: apply every DDV raise, then bump SN.
+        let mut ddv = self.ddv.clone();
+        let mut forced = false;
+        for reason in &round_state.reasons {
+            match reason {
+                ClcReason::Timer => {}
+                ClcReason::Forced(Piggyback::Sn(sn), cluster) => {
+                    ddv.raise(*cluster, *sn);
+                    forced = true;
+                }
+                ClcReason::Forced(Piggyback::Ddv(d), _) => {
+                    ddv.merge_max(d);
+                    forced = true;
+                }
+            }
+        }
+        let sn = self.sn.next();
+        ddv.set(self.my_cluster(), sn);
+        let epoch = self.epoch;
+        self.broadcast_cluster(
+            now,
+            Msg::ClcCommit {
+                round: round_state.round,
+                sn,
+                ddv,
+                forced,
+                epoch,
+            },
+            out,
+        );
+    }
+
+    // ---- rollback ----------------------------------------------------------
+
+    fn on_detect_faults(&mut self, failed_ranks: &[u32], out: &mut Vec<Output>) {
+        if !self
+            .cfg
+            .replication
+            .recoverable(failed_ranks, self.cluster_size())
+        {
+            for &failed_rank in failed_ranks {
+                out.push(Output::Unrecoverable { failed_rank });
+            }
+            return;
+        }
+        let restore_sn = self.store.latest().expect("initial CLC always exists").meta.sn;
+        self.initiate_cluster_rollback(restore_sn, out);
+    }
+
+    /// Roll the whole cluster back to `restore_sn` and alert the federation.
+    fn initiate_cluster_rollback(&mut self, restore_sn: SeqNum, out: &mut Vec<Output>) {
+        let new_epoch = self.epoch + 1;
+        let my_rank = self.id.rank;
+        for rank in self.other_ranks() {
+            out.push(Output::Send {
+                to: NodeId::new(self.id.cluster.0, rank),
+                msg: Msg::RollbackOrder {
+                    restore_sn,
+                    epoch: new_epoch,
+                    new_coordinator: self.coordinator_rank,
+                },
+            });
+        }
+        let coord_rank = self.coordinator_rank;
+        self.apply_rollback(restore_sn, new_epoch, coord_rank, out);
+        // Alert every other cluster (paper §3.4), sent by the node that
+        // initiated recovery.
+        let my_cluster = self.my_cluster();
+        for c in 0..self.cfg.num_clusters() {
+            if c != my_cluster {
+                out.push(Output::Send {
+                    to: self.coordinator_of(c),
+                    msg: Msg::RollbackAlert {
+                        origin: my_cluster,
+                        sn: restore_sn,
+                        origin_epoch: new_epoch,
+                    },
+                });
+            }
+        }
+        let _ = my_rank;
+    }
+
+    fn apply_rollback(
+        &mut self,
+        restore_sn: SeqNum,
+        epoch: u64,
+        new_coordinator: u32,
+        out: &mut Vec<Output>,
+    ) {
+        if epoch <= self.epoch {
+            return; // stale or duplicate order
+        }
+        self.epoch = epoch;
+        self.coordinator_rank = new_coordinator;
+        self.failed = false;
+        let entry = self
+            .store
+            .get(restore_sn)
+            .expect("rollback target must be stored");
+        self.sn = restore_sn;
+        self.ddv = entry.meta.ddv.clone();
+        self.delivered = entry.payload.delivered.clone();
+        let restored_app = entry.payload.app_state.clone();
+        self.app_state = restored_app.clone();
+        let channel_replay = entry.payload.channel_state.clone();
+        let discarded = self.store.truncate_after(restore_sn);
+        self.log.truncate_after_rollback(restore_sn);
+        self.frozen = None;
+        self.pending_inter.clear();
+        self.coord.current = None;
+        self.coord.queued.clear();
+        self.gc = None;
+        self.dirty = false;
+        out.push(Output::RolledBack {
+            restore_sn,
+            discarded_clcs: discarded,
+        });
+        out.push(Output::RestoreApp {
+            state: restored_app,
+        });
+        // Re-deliver the channel state captured in the restored checkpoint:
+        // the application state predates those deliveries.
+        for (from, payload) in channel_replay {
+            out.push(Output::DeliverApp { from, payload });
+        }
+        if self.is_coordinator() {
+            out.push(Output::ResetClcTimer);
+        }
+    }
+
+    fn on_alert(
+        &mut self,
+        now: SimTime,
+        origin: usize,
+        alert_sn: SeqNum,
+        origin_epoch: u64,
+        out: &mut Vec<Output>,
+    ) {
+        debug_assert_ne!(origin, self.my_cluster(), "alert from own cluster");
+        // Each restore of `origin` produces exactly one alert with a fresh
+        // epoch: process each at most once.
+        if origin_epoch <= self.alert_seen[origin] {
+            return;
+        }
+        self.alert_seen[origin] = origin_epoch;
+        self.min_epoch[origin] = self.min_epoch[origin].max(origin_epoch);
+
+        let target = self
+            .store
+            .rollback_target(origin, alert_sn)
+            .map(|e| e.meta.sn);
+        if let Some(target_sn) = target {
+            let latest_sn = self.store.latest().expect("nonempty").meta.sn;
+            if target_sn < latest_sn || self.dirty {
+                // Cascade: roll back and alert the others with our new SN.
+                self.initiate_cluster_rollback(target_sn, out);
+            }
+            // Otherwise the live state already *is* the target checkpoint
+            // (nothing material happened since the last restore): a
+            // re-restore would change nothing, and re-alerting would only
+            // echo — the no-progress cut that terminates cascades.
+        }
+        // Every node of the cluster scans its log against the alert
+        // (paper §3.4). When we rolled back, the RollbackOrder precedes the
+        // AlertLocal on every FIFO channel, so logs are truncated first.
+        self.broadcast_cluster(
+            now,
+            Msg::AlertLocal {
+                origin,
+                sn: alert_sn,
+                origin_epoch,
+            },
+            out,
+        );
+    }
+
+    fn resend_logged(&mut self, origin: usize, alert_sn: SeqNum, out: &mut Vec<Output>) {
+        let to_resend: Vec<(LogId, usize, u32, AppPayload)> = self
+            .log
+            .to_resend(origin, alert_sn)
+            .into_iter()
+            .map(|e| (e.id, e.dest_cluster, e.dest_rank, e.payload))
+            .collect();
+        for (id, cluster, rank, payload) in to_resend {
+            self.log.mark_resent(id);
+            out.push(Output::Send {
+                to: NodeId::new(cluster as u16, rank),
+                msg: Msg::AppInter {
+                    payload,
+                    piggyback: self.current_piggyback(),
+                    log_id: id,
+                    resend: true,
+                    sender_epoch: self.epoch,
+                },
+            });
+        }
+    }
+
+    // ---- garbage collection --------------------------------------------------
+
+    fn on_gc_timer(&mut self, out: &mut Vec<Output>) {
+        // Only the federation GC initiator (cluster 0's coordinator) runs
+        // the centralized collection.
+        if self.my_cluster() != 0 || !self.is_coordinator() || self.gc.is_some() {
+            return;
+        }
+        let mut lists = BTreeMap::new();
+        lists.insert(self.my_cluster(), self.store.ddv_list());
+        self.gc = Some(GcState { lists });
+        let n = self.cfg.num_clusters();
+        if n == 1 {
+            self.gc_finish(SimTime::ZERO, out);
+            return;
+        }
+        for c in 1..n {
+            out.push(Output::Send {
+                to: self.coordinator_of(c),
+                msg: Msg::GcCollect,
+            });
+        }
+    }
+
+    fn on_gc_list(
+        &mut self,
+        now: SimTime,
+        cluster: usize,
+        list: Vec<(SeqNum, Ddv)>,
+        out: &mut Vec<Output>,
+    ) {
+        let n = self.cfg.num_clusters();
+        let complete = match self.gc.as_mut() {
+            Some(g) => {
+                g.lists.insert(cluster, list);
+                g.lists.len() == n
+            }
+            None => false,
+        };
+        if complete {
+            self.gc_finish(now, out);
+        }
+    }
+
+    fn gc_finish(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        let g = self.gc.take().expect("gc in progress");
+        let lists: Vec<Vec<(SeqNum, Ddv)>> = (0..self.cfg.num_clusters())
+            .map(|c| g.lists[&c].clone())
+            .collect();
+        let min_sns = gc::safe_minimum_sns_k(&lists, self.cfg.gc_fault_tolerance);
+        for c in 1..self.cfg.num_clusters() {
+            out.push(Output::Send {
+                to: self.coordinator_of(c),
+                msg: Msg::GcPrune {
+                    min_sns: min_sns.clone(),
+                },
+            });
+        }
+        // Own cluster: relay + apply.
+        for rank in self.other_ranks() {
+            out.push(Output::Send {
+                to: NodeId::new(self.id.cluster.0, rank),
+                msg: Msg::GcPrune {
+                    min_sns: min_sns.clone(),
+                },
+            });
+        }
+        let _ = now;
+        self.apply_gc_prune(&min_sns, out);
+    }
+
+    fn apply_gc_prune(&mut self, min_sns: &[SeqNum], out: &mut Vec<Output>) {
+        let before = self.store.len();
+        self.store.prune_below(min_sns[self.my_cluster()]);
+        let after = self.store.len();
+        for (c, &min_sn) in min_sns.iter().enumerate() {
+            self.log.prune(c, min_sn);
+        }
+        if self.is_coordinator() {
+            out.push(Output::GcReport { before, after });
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Checkpoint persistence.
+//!
+//! The paper implements stable storage as in-memory neighbour replication
+//! (one simultaneous fault per cluster). A deployment that must survive
+//! whole-cluster power loss needs checkpoints on disk; this module
+//! serializes a node's CLC store — protocol stamps, delivery records,
+//! channel state and application snapshots — with the same hand-rolled
+//! varint format as the wire codec (`codec`), and restores it byte-exactly.
+
+use crate::checkpoint::NodeCheckpoint;
+use crate::codec::DecodeError;
+use crate::msg::AppPayload;
+use desim::SimTime;
+use netsim::NodeId;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use storage::{ClcMeta, ClcStore, Ddv, SeqNum};
+
+/// Magic bytes + format version at the head of a store image.
+const MAGIC: &[u8; 4] = b"HC3I";
+const STORE_VERSION: u8 = 1;
+
+// Varint helpers (shared shape with `codec`, re-implemented locally to keep
+// that module wire-only).
+fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u64(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, DecodeError> {
+    let len = get_u64(buf, pos)? as usize;
+    let b = buf.get(*pos..*pos + len).ok_or(DecodeError::Truncated)?;
+    *pos += len;
+    Ok(b.to_vec())
+}
+
+fn put_node(buf: &mut Vec<u8>, n: NodeId) {
+    put_u64(buf, n.cluster.0 as u64);
+    put_u64(buf, n.rank as u64);
+}
+
+fn get_node(buf: &[u8], pos: &mut usize) -> Result<NodeId, DecodeError> {
+    let c = get_u64(buf, pos)? as u16;
+    let r = get_u64(buf, pos)? as u32;
+    Ok(NodeId::new(c, r))
+}
+
+fn put_ddv(buf: &mut Vec<u8>, ddv: &Ddv) {
+    put_u64(buf, ddv.len() as u64);
+    for e in ddv.iter() {
+        put_u64(buf, e.0);
+    }
+}
+
+fn get_ddv(buf: &[u8], pos: &mut usize) -> Result<Ddv, DecodeError> {
+    let n = get_u64(buf, pos)? as usize;
+    if n > 1 << 20 {
+        return Err(DecodeError::VarintOverflow);
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SeqNum(get_u64(buf, pos)?));
+    }
+    Ok(Ddv::from_entries(entries))
+}
+
+/// Encode one node checkpoint.
+pub fn encode_checkpoint(ckpt: &NodeCheckpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // Delivery record, sorted for deterministic images.
+    let mut delivered: Vec<(&(NodeId, u64), &SeqNum)> = ckpt.delivered.iter().collect();
+    delivered.sort_by_key(|((node, id), _)| (*node, *id));
+    put_u64(&mut buf, delivered.len() as u64);
+    for ((node, log_id), sn) in delivered {
+        put_node(&mut buf, *node);
+        put_u64(&mut buf, *log_id);
+        put_u64(&mut buf, sn.0);
+    }
+    // Channel state.
+    put_u64(&mut buf, ckpt.channel_state.len() as u64);
+    for (from, payload) in &ckpt.channel_state {
+        put_node(&mut buf, *from);
+        put_u64(&mut buf, payload.bytes);
+        put_u64(&mut buf, payload.tag);
+    }
+    // Application snapshot.
+    match &ckpt.app_state {
+        None => buf.push(0),
+        Some(state) => {
+            buf.push(1);
+            put_bytes(&mut buf, state);
+        }
+    }
+    buf
+}
+
+/// Decode one node checkpoint.
+pub fn decode_checkpoint(buf: &[u8], pos: &mut usize) -> Result<NodeCheckpoint, DecodeError> {
+    let n = get_u64(buf, pos)? as usize;
+    if n > 1 << 28 {
+        return Err(DecodeError::VarintOverflow);
+    }
+    let mut delivered = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let node = get_node(buf, pos)?;
+        let log_id = get_u64(buf, pos)?;
+        let sn = SeqNum(get_u64(buf, pos)?);
+        delivered.insert((node, log_id), sn);
+    }
+    let m = get_u64(buf, pos)? as usize;
+    if m > 1 << 28 {
+        return Err(DecodeError::VarintOverflow);
+    }
+    let mut channel_state = Vec::with_capacity(m);
+    for _ in 0..m {
+        let from = get_node(buf, pos)?;
+        let bytes = get_u64(buf, pos)?;
+        let tag = get_u64(buf, pos)?;
+        channel_state.push((from, AppPayload { bytes, tag }));
+    }
+    let has_app = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+    *pos += 1;
+    let app_state = match has_app {
+        0 => None,
+        1 => Some(get_bytes(buf, pos)?),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    Ok(NodeCheckpoint {
+        delivered,
+        channel_state,
+        app_state,
+    })
+}
+
+/// Serialize a whole CLC store (all checkpoints, oldest first).
+pub fn encode_store(store: &ClcStore<NodeCheckpoint>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(STORE_VERSION);
+    put_u64(&mut buf, store.len() as u64);
+    for entry in store.iter() {
+        put_u64(&mut buf, entry.meta.sn.0);
+        put_ddv(&mut buf, &entry.meta.ddv);
+        put_u64(&mut buf, entry.meta.committed_at.nanos());
+        buf.push(entry.meta.forced as u8);
+        let body = encode_checkpoint(&entry.payload);
+        put_bytes(&mut buf, &body);
+    }
+    buf
+}
+
+/// Deserialize a CLC store image.
+pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError> {
+    let mut pos = 0usize;
+    let magic = buf.get(0..4).ok_or(DecodeError::Truncated)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadTag(*magic.first().unwrap_or(&0)));
+    }
+    pos += 4;
+    let version = *buf.get(pos).ok_or(DecodeError::Truncated)?;
+    pos += 1;
+    if version != STORE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n = get_u64(buf, &mut pos)? as usize;
+    if n > 1 << 24 {
+        return Err(DecodeError::VarintOverflow);
+    }
+    let mut store = ClcStore::new();
+    for _ in 0..n {
+        let sn = SeqNum(get_u64(buf, &mut pos)?);
+        let ddv = get_ddv(buf, &mut pos)?;
+        let committed_at = SimTime(get_u64(buf, &mut pos)?);
+        let forced_byte = *buf.get(pos).ok_or(DecodeError::Truncated)?;
+        pos += 1;
+        let body = get_bytes(buf, &mut pos)?;
+        let mut body_pos = 0usize;
+        let payload = decode_checkpoint(&body, &mut body_pos)?;
+        if body_pos != body.len() {
+            return Err(DecodeError::TrailingBytes(body.len() - body_pos));
+        }
+        store.commit(
+            ClcMeta {
+                sn,
+                ddv,
+                committed_at,
+                forced: forced_byte != 0,
+            },
+            payload,
+        );
+    }
+    if pos != buf.len() {
+        return Err(DecodeError::TrailingBytes(buf.len() - pos));
+    }
+    Ok(store)
+}
+
+/// Write a store image to a file (atomically: temp file + rename).
+pub fn save_store(
+    store: &ClcStore<NodeCheckpoint>,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let bytes = encode_store(store);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a store image back from a file.
+pub fn load_store(path: &std::path::Path) -> std::io::Result<ClcStore<NodeCheckpoint>> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_store(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint(k: u64) -> NodeCheckpoint {
+        let mut delivered = HashMap::new();
+        delivered.insert((NodeId::new(0, 3), 7 + k), SeqNum(2));
+        delivered.insert((NodeId::new(2, 0), 1), SeqNum(k + 1));
+        NodeCheckpoint {
+            delivered,
+            channel_state: vec![(
+                NodeId::new(0, 1),
+                AppPayload {
+                    bytes: 512,
+                    tag: 40 + k,
+                },
+            )],
+            app_state: (k % 2 == 0).then(|| vec![1, 2, 3, k as u8]),
+        }
+    }
+
+    fn sample_store() -> ClcStore<NodeCheckpoint> {
+        let mut store = ClcStore::new();
+        for k in 1..=4u64 {
+            let mut ddv = Ddv::zeros(3);
+            ddv.set(1, SeqNum(k));
+            ddv.raise(0, SeqNum(k / 2));
+            store.commit(
+                ClcMeta {
+                    sn: SeqNum(k),
+                    ddv,
+                    committed_at: SimTime(k * 1_000_000),
+                    forced: k % 2 == 0,
+                },
+                sample_checkpoint(k),
+            );
+        }
+        store
+    }
+
+    fn stores_equal(a: &ClcStore<NodeCheckpoint>, b: &ClcStore<NodeCheckpoint>) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b.iter()).all(|(x, y)| {
+                x.meta == y.meta
+                    && x.payload.delivered == y.payload.delivered
+                    && x.payload.channel_state == y.payload.channel_state
+                    && x.payload.app_state == y.payload.app_state
+            })
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        for k in 0..4 {
+            let c = sample_checkpoint(k);
+            let bytes = encode_checkpoint(&c);
+            let mut pos = 0;
+            let back = decode_checkpoint(&bytes, &mut pos).unwrap();
+            assert_eq!(pos, bytes.len());
+            assert_eq!(back.delivered, c.delivered);
+            assert_eq!(back.channel_state, c.channel_state);
+            assert_eq!(back.app_state, c.app_state);
+        }
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let store = sample_store();
+        let bytes = encode_store(&store);
+        let back = decode_store(&bytes).unwrap();
+        assert!(stores_equal(&store, &back));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_despite_hashmap() {
+        // The delivery record is a HashMap; the image must still be stable.
+        let a = encode_store(&sample_store());
+        let b = encode_store(&sample_store());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected_not_panicked() {
+        let bytes = encode_store(&sample_store());
+        for cut in 0..bytes.len() {
+            assert!(decode_store(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_store(&bad).is_err(), "bad magic");
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(decode_store(&bad), Err(DecodeError::BadVersion(99))));
+        let mut bad = bytes;
+        bad.push(0);
+        assert!(matches!(
+            decode_store(&bad),
+            Err(DecodeError::TrailingBytes(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join(format!(
+            "hc3i-persist-test-{}.clc",
+            std::process::id()
+        ));
+        save_store(&store, &path).unwrap();
+        let back = load_store(&path).unwrap();
+        assert!(stores_equal(&store, &back));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store: ClcStore<NodeCheckpoint> = ClcStore::new();
+        let back = decode_store(&encode_store(&store)).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("hc3i-persist-does-not-exist.clc");
+        assert!(load_store(&path).is_err());
+    }
+}

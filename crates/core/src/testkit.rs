@@ -1,0 +1,742 @@
+//! Synchronous in-memory federation for protocol testing.
+//!
+//! [`InstantFederation`] wires a set of [`NodeEngine`]s through an instant,
+//! reliable, FIFO network: every `Output::Send` is queued and dispatched in
+//! order until quiescence. No timing model — this isolates the protocol
+//! logic from the simulator, and is also handy for downstream crates'
+//! tests and for the worked examples.
+
+use crate::config::ProtocolConfig;
+use crate::io::{Input, Output};
+use crate::msg::{AppPayload, Msg};
+use crate::node::NodeEngine;
+use desim::{SimDuration, SimTime};
+use netsim::NodeId;
+use std::collections::VecDeque;
+use storage::SeqNum;
+
+/// A recorded application delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Original sender.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The payload delivered.
+    pub payload: AppPayload,
+}
+
+/// A federation of node engines joined by an instant FIFO network.
+pub struct InstantFederation {
+    cfg: ProtocolConfig,
+    engines: Vec<Vec<NodeEngine>>,
+    queue: VecDeque<(NodeId, NodeId, Msg)>,
+    now: SimTime,
+    /// Every application delivery, in order.
+    pub deliveries: Vec<Delivery>,
+    /// Every committed CLC: `(cluster, sn, forced)`.
+    pub commits: Vec<(usize, SeqNum, bool)>,
+    /// Every cluster rollback observed at a coordinator:
+    /// `(cluster, restored sn)`.
+    pub rollbacks: Vec<(usize, SeqNum)>,
+    /// GC reports: `(cluster, before, after)`.
+    pub gc_reports: Vec<(usize, usize, usize)>,
+    /// Unrecoverable-fault reports.
+    pub unrecoverable: Vec<(usize, u32)>,
+    /// Late-crossing monitor events.
+    pub late_crossings: u64,
+}
+
+impl InstantFederation {
+    /// Build a federation from `cfg`, all engines freshly initialized.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        let engines = (0..cfg.num_clusters())
+            .map(|c| {
+                (0..cfg.nodes_in(c))
+                    .map(|r| NodeEngine::new(cfg.clone(), NodeId::new(c as u16, r)))
+                    .collect()
+            })
+            .collect();
+        InstantFederation {
+            cfg,
+            engines,
+            queue: VecDeque::new(),
+            now: SimTime::ZERO,
+            deliveries: vec![],
+            commits: vec![],
+            rollbacks: vec![],
+            gc_reports: vec![],
+            unrecoverable: vec![],
+            late_crossings: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Immutable access to one engine.
+    pub fn engine(&self, id: NodeId) -> &NodeEngine {
+        &self.engines[id.cluster.index()][id.rank as usize]
+    }
+
+    /// Feed `input` to `node`, then run the network to quiescence.
+    pub fn input(&mut self, node: NodeId, input: Input) {
+        self.now += SimDuration::from_nanos(1);
+        let outs =
+            self.engines[node.cluster.index()][node.rank as usize].handle(self.now, input);
+        self.absorb(node, outs);
+        self.run_to_quiescence();
+    }
+
+    /// Convenience: application send from `from` to `to`.
+    pub fn app_send(&mut self, from: NodeId, to: NodeId, payload: AppPayload) {
+        self.input(from, Input::AppSend { to, payload });
+    }
+
+    /// Convenience: fire the CLC timer of cluster `c`'s coordinator.
+    pub fn fire_clc_timer(&mut self, c: usize) {
+        self.input(self.cfg.initial_coordinator(c), Input::ClcTimer);
+    }
+
+    /// Convenience: fail a node and deliver detection to the recovery
+    /// coordinator (the lowest-ranked surviving node).
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.input(node, Input::Fail);
+        let c = node.cluster.index();
+        let detector = (0..self.cfg.nodes_in(c))
+            .map(|r| NodeId::new(node.cluster.0, r))
+            .find(|&n| !self.engine(n).is_failed())
+            .expect("at least one survivor");
+        self.input(
+            detector,
+            Input::DetectFault {
+                failed_rank: node.rank,
+            },
+        );
+    }
+
+    /// Convenience: run a garbage collection now.
+    pub fn run_gc(&mut self) {
+        self.input(self.cfg.initial_coordinator(0), Input::GcTimer);
+    }
+
+    /// Total committed CLCs in cluster `c` recorded so far (excluding the
+    /// initial CLC), split `(unforced, forced)`.
+    pub fn clc_counts(&self, c: usize) -> (usize, usize) {
+        let forced = self
+            .commits
+            .iter()
+            .filter(|&&(cc, _, f)| cc == c && f)
+            .count();
+        let unforced = self
+            .commits
+            .iter()
+            .filter(|&&(cc, _, f)| cc == c && !f)
+            .count();
+        (unforced, forced)
+    }
+
+    /// Payload tags delivered to `node`, in order.
+    pub fn delivered_tags(&self, node: NodeId) -> Vec<u64> {
+        self.deliveries
+            .iter()
+            .filter(|d| d.to == node)
+            .map(|d| d.payload.tag)
+            .collect()
+    }
+
+    fn absorb(&mut self, source: NodeId, outs: Vec<Output>) {
+        for out in outs {
+            match out {
+                Output::Send { to, msg } => self.queue.push_back((source, to, msg)),
+                Output::DeliverApp { from, payload } => self.deliveries.push(Delivery {
+                    from,
+                    to: source,
+                    payload,
+                }),
+                Output::Committed { sn, forced } => {
+                    self.commits.push((source.cluster.index(), sn, forced))
+                }
+                Output::RolledBack { restore_sn, .. } => {
+                    if source.rank == 0 {
+                        self.rollbacks.push((source.cluster.index(), restore_sn));
+                    }
+                }
+                Output::ResetClcTimer => {}
+                Output::GcReport { before, after } => {
+                    self.gc_reports
+                        .push((source.cluster.index(), before, after))
+                }
+                Output::Unrecoverable { failed_rank } => self
+                    .unrecoverable
+                    .push((source.cluster.index(), failed_rank)),
+                Output::LateCrossing { .. } => self.late_crossings += 1,
+                Output::RestoreApp { .. } => {}
+            }
+        }
+    }
+
+    fn run_to_quiescence(&mut self) {
+        let mut budget = 1_000_000u64;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            budget = budget
+                .checked_sub(1)
+                .expect("instant federation did not quiesce");
+            self.now += SimDuration::from_nanos(1);
+            let outs = self.engines[to.cluster.index()][to.rank as usize]
+                .handle(self.now, Input::Receive { from, msg });
+            self.absorb(to, outs);
+        }
+    }
+}
+
+#[cfg(test)]
+impl InstantFederation {
+    /// Test helper: dispatch exactly `k` queued messages.
+    fn step_n(&mut self, k: usize) {
+        for _ in 0..k {
+            let Some((from, to, msg)) = self.queue.pop_front() else {
+                return;
+            };
+            self.now += SimDuration::from_nanos(1);
+            let outs = self.engines[to.cluster.index()][to.rank as usize]
+                .handle(self.now, Input::Receive { from, msg });
+            self.absorb(to, outs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PiggybackMode;
+
+    fn n(c: u16, r: u32) -> NodeId {
+        NodeId::new(c, r)
+    }
+
+    fn pay(tag: u64) -> AppPayload {
+        AppPayload { bytes: 1024, tag }
+    }
+
+    fn two_by_three() -> InstantFederation {
+        InstantFederation::new(ProtocolConfig::new(vec![3, 3]))
+    }
+
+    // ---- coordinated checkpointing ----
+
+    #[test]
+    fn timer_clc_commits_cluster_wide() {
+        let mut fed = two_by_three();
+        fed.fire_clc_timer(0);
+        for r in 0..3 {
+            let e = fed.engine(n(0, r));
+            assert_eq!(e.sn(), SeqNum(2), "node {r} committed");
+            assert_eq!(e.ddv().get(0), SeqNum(2));
+            assert_eq!(e.store().len(), 2, "initial + new CLC");
+            assert!(!e.is_frozen());
+        }
+        // Cluster 1 untouched.
+        assert_eq!(fed.engine(n(1, 0)).sn(), SeqNum(1));
+        assert_eq!(fed.commits, vec![(0, SeqNum(2), false)]);
+    }
+
+    #[test]
+    fn repeated_timers_increment_sn() {
+        let mut fed = two_by_three();
+        for k in 2..=5u64 {
+            fed.fire_clc_timer(0);
+            assert_eq!(fed.engine(n(0, 1)).sn(), SeqNum(k));
+        }
+        assert_eq!(fed.clc_counts(0), (4, 0));
+    }
+
+    #[test]
+    fn single_node_cluster_commits_locally() {
+        let mut fed = InstantFederation::new(ProtocolConfig::new(vec![1, 2]));
+        fed.fire_clc_timer(0);
+        assert_eq!(fed.engine(n(0, 0)).sn(), SeqNum(2));
+    }
+
+    // ---- application messaging ----
+
+    #[test]
+    fn intra_cluster_delivery() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(0, 2), pay(7));
+        assert_eq!(fed.delivered_tags(n(0, 2)), vec![7]);
+        assert_eq!(fed.late_crossings, 0);
+        // Intra messages are never logged.
+        assert!(fed.engine(n(0, 1)).log().is_empty());
+    }
+
+    #[test]
+    fn first_inter_message_forces_clc() {
+        let mut fed = two_by_three();
+        // Sender SN is 1, receiver DDV[0] is 0: 1 > 0 forces a CLC
+        // (paper §4: "this forces cluster 2 to take a CLC before
+        // delivering m1").
+        fed.app_send(n(0, 1), n(1, 2), pay(1));
+        assert_eq!(fed.delivered_tags(n(1, 2)), vec![1]);
+        assert_eq!(fed.clc_counts(1), (0, 1), "one forced CLC in cluster 1");
+        let receiver = fed.engine(n(1, 2));
+        assert_eq!(receiver.sn(), SeqNum(2));
+        assert_eq!(receiver.ddv().get(0), SeqNum(1), "DDV tracks sender SN");
+        // The sender's log got the post-commit ack (local SN + 1).
+        let sender = fed.engine(n(0, 1));
+        assert_eq!(sender.log().len(), 1);
+        assert_eq!(
+            sender.log().iter().next().unwrap().ack_sn,
+            Some(SeqNum(2))
+        );
+    }
+
+    #[test]
+    fn second_message_same_sn_does_not_force() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(1));
+        fed.app_send(n(0, 0), n(1, 1), pay(2)); // still sender SN 1
+        assert_eq!(fed.clc_counts(1), (0, 1), "no second forced CLC");
+        assert_eq!(fed.delivered_tags(n(1, 1)), vec![2]);
+    }
+
+    #[test]
+    fn new_sender_clc_forces_again() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(1));
+        fed.fire_clc_timer(0); // sender cluster SN -> 2 (its 3rd CLC? no: 2)
+        fed.app_send(n(0, 1), n(1, 2), pay(2));
+        assert_eq!(fed.clc_counts(1), (0, 2), "forced once per sender CLC");
+        assert_eq!(fed.delivered_tags(n(1, 2)), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_messages_coalesce_into_one_forced_clc() {
+        // Both messages carry sender SN 1 and arrive before any commit:
+        // the coordinator merges the raises into a single forced round.
+        let mut fed = two_by_three();
+        let from_a = n(0, 0);
+        let from_b = n(0, 2);
+        // Enqueue both sends before processing: use raw inputs.
+        fed.now += SimDuration::from_nanos(1);
+        let o1 = fed.engines[0][0].handle(
+            fed.now,
+            Input::AppSend {
+                to: n(1, 1),
+                payload: pay(1),
+            },
+        );
+        fed.absorb(from_a, o1);
+        let o2 = fed.engines[0][2].handle(
+            fed.now,
+            Input::AppSend {
+                to: n(1, 2),
+                payload: pay(2),
+            },
+        );
+        fed.absorb(from_b, o2);
+        fed.run_to_quiescence();
+        assert_eq!(fed.clc_counts(1), (0, 1), "one coalesced forced CLC");
+        assert_eq!(fed.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn full_ddv_mode_adds_transitivity() {
+        let mut fed = InstantFederation::new(
+            ProtocolConfig::new(vec![2, 2, 2]).with_piggyback(PiggybackMode::FullDdv),
+        );
+        // 0 -> 1: cluster 1 learns DDV[0]=1 (forced CLC #1 in cluster 1).
+        fed.app_send(n(0, 0), n(1, 0), pay(1));
+        // 1 -> 2: cluster 2 learns about cluster 1 AND cluster 0
+        // transitively (forced CLC in cluster 2).
+        fed.app_send(n(1, 0), n(2, 0), pay(2));
+        assert_eq!(fed.engine(n(2, 0)).ddv().get(0), SeqNum(1));
+        let forced_before = fed.clc_counts(2).1;
+        // 0 -> 2 with SN 1: already covered transitively -> NO forced CLC.
+        fed.app_send(n(0, 0), n(2, 0), pay(3));
+        assert_eq!(fed.clc_counts(2).1, forced_before, "transitivity suppressed the force");
+        assert_eq!(fed.delivered_tags(n(2, 0)), vec![2, 3]);
+    }
+
+    #[test]
+    fn sn_only_mode_lacks_transitivity() {
+        let mut fed = InstantFederation::new(ProtocolConfig::new(vec![2, 2, 2]));
+        fed.app_send(n(0, 0), n(1, 0), pay(1));
+        fed.app_send(n(1, 0), n(2, 0), pay(2));
+        assert_eq!(
+            fed.engine(n(2, 0)).ddv().get(0),
+            SeqNum(0),
+            "SN-only carries no transitive info"
+        );
+        let forced_before = fed.clc_counts(2).1;
+        fed.app_send(n(0, 0), n(2, 0), pay(3));
+        assert_eq!(fed.clc_counts(2).1, forced_before + 1, "direct force needed");
+    }
+
+    // ---- rollback ----
+
+    #[test]
+    fn fault_in_independent_cluster_rolls_back_only_itself() {
+        let mut fed = two_by_three();
+        fed.fire_clc_timer(0);
+        fed.fire_clc_timer(1);
+        fed.fail_node(n(0, 2));
+        assert_eq!(fed.rollbacks, vec![(0, SeqNum(2))]);
+        assert!(!fed.engine(n(0, 2)).is_failed(), "revived by rollback");
+        assert_eq!(fed.engine(n(1, 0)).sn(), SeqNum(2), "cluster 1 untouched");
+    }
+
+    #[test]
+    fn receiver_fault_triggers_log_replay_not_sender_rollback() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(9)); // forces CLC2 in cluster 1
+        assert_eq!(fed.delivered_tags(n(1, 2)), vec![9]);
+        // Receiver cluster fails and restores CLC2 — whose state predates
+        // the delivery of tag 9. The sender must replay it.
+        fed.fail_node(n(1, 1));
+        assert_eq!(fed.rollbacks, vec![(1, SeqNum(2))]);
+        // Sender cluster did not roll back…
+        assert_eq!(fed.engine(n(0, 0)).sn(), SeqNum(1));
+        // …and the message was re-delivered from the log exactly once more.
+        assert_eq!(fed.delivered_tags(n(1, 2)), vec![9, 9]);
+        assert_eq!(fed.late_crossings, 0);
+    }
+
+    #[test]
+    fn sender_fault_cascades_to_dependent_receiver() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(5)); // cluster 1 forced CLC2, DDV[0]=1
+        // Sender cluster fails with only its initial CLC stored: restores
+        // SN 1 and loses the send. Cluster 1's CLC2 has DDV[0] = 1 >= 1 ->
+        // cluster 1 restores CLC2 itself: the forced CLC committed before
+        // the message was delivered, so its state is clean of the ghost.
+        fed.fail_node(n(0, 0));
+        assert!(fed.rollbacks.contains(&(0, SeqNum(1))));
+        assert!(fed.rollbacks.contains(&(1, SeqNum(2))));
+        let receiver = fed.engine(n(1, 2));
+        assert_eq!(receiver.sn(), SeqNum(2));
+        assert_eq!(
+            receiver.ddv().get(0),
+            SeqNum(1),
+            "the stamp survives; the delivery does not"
+        );
+        // The restored checkpoint's delivery record is empty: the ghost
+        // message is no longer marked delivered.
+        assert_eq!(receiver.store().latest().unwrap().payload.delivered.len(), 0);
+        // The sender's log entry for the lost send was truncated.
+        assert!(fed.engine(n(0, 1)).log().is_empty());
+    }
+
+    #[test]
+    fn sender_checkpoint_then_fault_spares_receiver() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(5)); // forced CLC2 in cluster 1
+        fed.fire_clc_timer(0); // sender commits CLC2 *after* the send
+        // Now the send predates the sender's restored CLC2? No: the send
+        // happened at sender SN 1, before CLC2. Restoring CLC2 keeps it.
+        fed.fail_node(n(0, 0));
+        assert_eq!(fed.rollbacks, vec![(0, SeqNum(2))]);
+        assert_eq!(
+            fed.engine(n(1, 2)).sn(),
+            SeqNum(2),
+            "receiver keeps its forced CLC: alert SN 2 > DDV[0]=1"
+        );
+        // Log entry survives the sender rollback (logged at SN 1 < 2).
+        assert_eq!(fed.engine(n(0, 1)).log().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_suppression_on_replayed_messages() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 1), n(1, 2), pay(9));
+        // Receiver commits another CLC *after* delivery; restoring it keeps
+        // the delivery, so the replay (ack 2 >= alert 3? no — ack was 2,
+        // alert 3 -> no resend at all).
+        fed.fire_clc_timer(1);
+        fed.fail_node(n(1, 1));
+        assert_eq!(fed.rollbacks, vec![(1, SeqNum(3))]);
+        assert_eq!(
+            fed.delivered_tags(n(1, 2)),
+            vec![9],
+            "no replay needed: delivery survived in CLC3"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_single_node_cluster() {
+        let mut fed = InstantFederation::new(ProtocolConfig::new(vec![1, 2]));
+        // A lone node has no replica holder: its fragment is lost.
+        fed.input(n(0, 0), Input::Fail);
+        // Detection must come from within the cluster; the lone node IS the
+        // cluster, so deliver detection directly (it is failed, so use the
+        // engine of cluster 1? No — recoverability is checked by the
+        // detector's engine in the same cluster). Use the failed node's own
+        // engine after revival-less detection: simplest is a fresh check.
+        let outs = fed.engines[0][0].handle(
+            fed.now,
+            Input::Receive {
+                from: n(0, 0),
+                msg: Msg::RollbackOrder {
+                    restore_sn: SeqNum(1),
+                    epoch: 1,
+                    new_coordinator: 0,
+                },
+            },
+        );
+        fed.absorb(n(0, 0), outs);
+        fed.run_to_quiescence();
+        assert!(!fed.engine(n(0, 0)).is_failed(), "explicit order revives");
+    }
+
+    #[test]
+    fn multi_fault_detection_reports_unrecoverable() {
+        let mut fed = two_by_three();
+        // Degree-1 replication: adjacent double fault loses a fragment.
+        fed.input(n(0, 1), Input::Fail);
+        fed.input(n(0, 2), Input::Fail);
+        // Survivor checks recoverability of rank 1 while rank 2 (its
+        // replica holder) is also down — the engine-level check only sees
+        // single-fault recoverability, so emulate the detector asking about
+        // the pair via replication policy:
+        let policy = fed.config().replication;
+        assert!(!policy.recoverable(&[1, 2], 3));
+        // Single-rank detection still succeeds for a lone fault.
+        fed.input(n(0, 0), Input::DetectFault { failed_rank: 1 });
+        assert!(!fed.engine(n(0, 1)).is_failed());
+    }
+
+    // ---- garbage collection ----
+
+    #[test]
+    fn gc_prunes_old_clcs_everywhere() {
+        let mut fed = two_by_three();
+        for _ in 0..5 {
+            fed.fire_clc_timer(0);
+            fed.fire_clc_timer(1);
+        }
+        assert_eq!(fed.engine(n(0, 1)).store().len(), 6);
+        fed.run_gc();
+        // Independent clusters: only the latest CLC can ever be needed.
+        for c in 0..2u16 {
+            for r in 0..3 {
+                assert_eq!(fed.engine(n(c, r)).store().len(), 1, "C{c} n{r}");
+            }
+        }
+        assert_eq!(fed.gc_reports.len(), 2);
+        assert_eq!(fed.gc_reports[0].1, 6, "before");
+        assert_eq!(fed.gc_reports[0].2, 1, "after");
+    }
+
+    #[test]
+    fn gc_keeps_dependency_needed_clcs() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 0), n(1, 0), pay(1)); // c1 forced CLC2 (DDV[0]=1)
+        fed.fire_clc_timer(1); // c1 CLC3
+        fed.run_gc();
+        // Failure of cluster 0 restores SN 1 and loses the send; cluster 1
+        // falls back to its forced CLC 2 (which recorded the dependency
+        // before delivering). The initial CLC is prunable, CLC2 is not.
+        let c1_store = fed.engine(n(1, 0)).store();
+        assert_eq!(c1_store.len(), 2, "initial CLC pruned; CLC2 kept");
+        // After cluster 0 checkpoints (send now protected), GC can prune.
+        fed.fire_clc_timer(0);
+        fed.run_gc();
+        assert!(fed.engine(n(1, 0)).store().len() <= 2);
+    }
+
+    #[test]
+    fn gc_prunes_acked_logs() {
+        let mut fed = two_by_three();
+        fed.app_send(n(0, 0), n(1, 0), pay(1)); // acked with SN 2
+        fed.fire_clc_timer(0); // protect the send under CLC2
+        fed.fire_clc_timer(1); // receiver at CLC3
+        assert_eq!(fed.engine(n(0, 0)).log().len(), 1);
+        fed.run_gc();
+        // min for cluster 1 is 3 (no one depends on it); ack 2 < 3 ->
+        // prunable.
+        assert_eq!(fed.engine(n(0, 0)).log().len(), 0);
+    }
+
+    // ---- freeze-window behaviour ----
+
+    #[test]
+    fn gc_fault_tolerance_two_keeps_deeper_clcs() {
+        // Same history, two GC settings: the k=2 collector must keep
+        // every CLC that any *pair* of simultaneous failures could need,
+        // so it can never prune more than the k=1 collector.
+        let run = |k: usize| {
+            let mut fed = InstantFederation::new(
+                ProtocolConfig::new(vec![2, 2, 2]).with_gc_fault_tolerance(k),
+            );
+            // Interleaved cross traffic and checkpoints.
+            fed.app_send(n(0, 0), n(1, 0), pay(1));
+            fed.fire_clc_timer(0);
+            fed.app_send(n(1, 0), n(2, 0), pay(2));
+            fed.fire_clc_timer(1);
+            fed.app_send(n(2, 0), n(0, 0), pay(3));
+            fed.fire_clc_timer(2);
+            fed.app_send(n(0, 1), n(2, 1), pay(4));
+            fed.run_gc();
+            (0..3u16)
+                .map(|c| fed.engine(n(c, 0)).store().len())
+                .collect::<Vec<_>>()
+        };
+        let k1 = run(1);
+        let k2 = run(2);
+        for (a, b) in k1.iter().zip(&k2) {
+            assert!(b >= a, "k=2 pruned more than k=1: {k1:?} vs {k2:?}");
+        }
+    }
+
+    #[test]
+    fn multi_rank_detection_checks_joint_recoverability() {
+        let mut fed = InstantFederation::new(ProtocolConfig::new(vec![4, 2]));
+        fed.fire_clc_timer(0);
+        fed.input(n(0, 1), Input::Fail);
+        fed.input(n(0, 2), Input::Fail);
+        // Adjacent pair at replication degree 1: rank 1's only replica
+        // holder is rank 2.
+        fed.input(
+            n(0, 0),
+            Input::DetectFaults {
+                failed_ranks: vec![1, 2],
+            },
+        );
+        assert_eq!(fed.unrecoverable.len(), 2, "both ranks reported lost");
+        assert!(fed.engine(n(0, 1)).is_failed(), "no rollback happened");
+
+        // Same pair at degree 2: jointly recoverable, cluster rolls back.
+        let mut fed = InstantFederation::new(
+            ProtocolConfig::new(vec![4, 2])
+                .with_replication(storage::ReplicationPolicy::with_degree(2)),
+        );
+        fed.fire_clc_timer(0);
+        fed.input(n(0, 1), Input::Fail);
+        fed.input(n(0, 2), Input::Fail);
+        fed.input(
+            n(0, 0),
+            Input::DetectFaults {
+                failed_ranks: vec![1, 2],
+            },
+        );
+        assert!(fed.unrecoverable.is_empty());
+        assert!(!fed.engine(n(0, 1)).is_failed(), "revived");
+        assert!(!fed.engine(n(0, 2)).is_failed(), "revived");
+        assert_eq!(fed.rollbacks, vec![(0, SeqNum(2))]);
+    }
+
+    #[test]
+    fn mutual_dependency_fault_terminates_without_domino() {
+        // Both clusters' newest CLCs reference each other's newest SNs —
+        // the alert-echo scenario. The cascade must terminate (the
+        // quiescence budget enforces it), restore the forced CLCs rather
+        // than unwinding to the start, and leave a consistent state.
+        let mut fed = two_by_three();
+        for round in 0..4u64 {
+            fed.app_send(n(0, 0), n(1, 0), pay(round * 2 + 1));
+            fed.app_send(n(1, 1), n(0, 1), pay(round * 2 + 2));
+        }
+        let sn_before_0 = fed.engine(n(0, 0)).sn();
+        let sn_before_1 = fed.engine(n(1, 0)).sn();
+        assert!(sn_before_0 >= SeqNum(4), "forced CLCs accumulated");
+
+        fed.fail_node(n(0, 2));
+        // No deep unwind: each cluster ends within one checkpoint of where
+        // it was (the oldest-offending rule restores the *recording* CLC).
+        let sn_after_0 = fed.engine(n(0, 0)).sn();
+        let sn_after_1 = fed.engine(n(1, 0)).sn();
+        assert!(
+            sn_before_0.value() - sn_after_0.value() <= 1,
+            "cluster 0 unwound {} -> {}",
+            sn_before_0,
+            sn_after_0
+        );
+        assert!(
+            sn_before_1.value() - sn_after_1.value() <= 1,
+            "cluster 1 unwound {} -> {}",
+            sn_before_1,
+            sn_after_1
+        );
+        assert_eq!(fed.late_crossings, 0);
+        // Follow-up traffic still works after the cascade.
+        fed.app_send(n(0, 0), n(1, 2), pay(99));
+        assert!(fed.delivered_tags(n(1, 2)).contains(&99));
+    }
+
+    #[test]
+    fn app_sends_issued_during_freeze_are_released_after_commit() {
+        // Drive the 2PC manually so we can inject a send mid-freeze.
+        let mut fed = two_by_three();
+        let coord = n(0, 0);
+        fed.now += SimDuration::from_nanos(1);
+        let outs = fed.engines[0][0].handle(fed.now, Input::ClcTimer);
+        fed.absorb(coord, outs);
+        // The coordinator froze itself and broadcast requests; before
+        // draining the queue, node 1 wants to send.
+        assert!(fed.engine(n(0, 0)).is_frozen());
+        let outs = fed.engines[0][1].handle(
+            fed.now,
+            Input::AppSend {
+                to: n(0, 2),
+                payload: pay(42),
+            },
+        );
+        // Node 1 is not frozen yet (request still queued) so this sends
+        // immediately; freeze IT first instead: drain, then test on a
+        // second round. Simplest deterministic check: coordinator's own
+        // sends while frozen are queued.
+        fed.absorb(n(0, 1), outs);
+        let outs = fed.engines[0][0].handle(
+            fed.now,
+            Input::AppSend {
+                to: n(0, 2),
+                payload: pay(43),
+            },
+        );
+        assert!(outs.is_empty(), "send frozen during 2PC");
+        fed.absorb(coord, outs);
+        fed.run_to_quiescence();
+        let tags = fed.delivered_tags(n(0, 2));
+        assert!(tags.contains(&42) && tags.contains(&43), "tags {tags:?}");
+        assert_eq!(fed.engine(n(0, 0)).sn(), SeqNum(2));
+    }
+
+    #[test]
+    fn intra_messages_arriving_during_freeze_become_channel_state() {
+        let mut fed = two_by_three();
+        let coord = n(0, 0);
+        // Freeze the whole cluster: fire timer, but intercept before
+        // delivering the commit by interleaving a message into the queue.
+        fed.now += SimDuration::from_nanos(1);
+        let outs = fed.engines[0][0].handle(fed.now, Input::ClcTimer);
+        fed.absorb(coord, outs);
+        // Deliver the requests to nodes 1 and 2 manually.
+        fed.step_n(2);
+        assert!(fed.engine(n(0, 1)).is_frozen());
+        // Node 1 already sent a message to node 2 logically "in flight":
+        // inject an AppIntra delivery to the frozen node 2.
+        let outs = fed.engines[0][2].handle(
+            fed.now,
+            Input::Receive {
+                from: n(0, 1),
+                msg: Msg::AppIntra {
+                    payload: pay(77),
+                    sent_at_sn: SeqNum(1),
+                },
+            },
+        );
+        assert!(outs.is_empty(), "queued as channel state, not delivered");
+        fed.absorb(n(0, 2), outs);
+        fed.run_to_quiescence();
+        // Delivered at commit…
+        assert_eq!(fed.delivered_tags(n(0, 2)), vec![77]);
+        // …and recorded in the committed checkpoint.
+        let store = fed.engine(n(0, 2)).store();
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.payload.channel_state.len(), 1);
+        assert_eq!(latest.payload.channel_state[0].1.tag, 77);
+        assert_eq!(fed.late_crossings, 0);
+    }
+}

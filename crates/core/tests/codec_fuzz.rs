@@ -1,0 +1,157 @@
+//! Property tests for the wire codec: arbitrary messages round-trip, and
+//! arbitrary byte soup never panics the decoder.
+
+use hc3i_core::codec::{decode, decode_envelope, encode, encode_envelope};
+use hc3i_core::{AppPayload, ClcReason, Ddv, LogId, Msg, Piggyback, SeqNum};
+use netsim::NodeId;
+use proptest::prelude::*;
+
+fn ddv_strategy() -> impl Strategy<Value = Ddv> {
+    prop::collection::vec(any::<u64>(), 1..8)
+        .prop_map(|v| Ddv::from_entries(v.into_iter().map(SeqNum).collect()))
+}
+
+fn piggyback_strategy() -> impl Strategy<Value = Piggyback> {
+    prop_oneof![
+        any::<u64>().prop_map(|v| Piggyback::Sn(SeqNum(v))),
+        ddv_strategy().prop_map(Piggyback::Ddv),
+    ]
+}
+
+fn payload_strategy() -> impl Strategy<Value = AppPayload> {
+    (any::<u64>(), any::<u64>()).prop_map(|(bytes, tag)| AppPayload { bytes, tag })
+}
+
+fn reason_strategy() -> impl Strategy<Value = ClcReason> {
+    prop_oneof![
+        Just(ClcReason::Timer),
+        (piggyback_strategy(), 0usize..16).prop_map(|(p, c)| ClcReason::Forced(p, c)),
+    ]
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (reason_strategy(), any::<u64>())
+            .prop_map(|(reason, epoch)| Msg::ClcInit { reason, epoch }),
+        (any::<u64>(), any::<u64>()).prop_map(|(round, epoch)| Msg::ClcRequest { round, epoch }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(round, owner, epoch)| {
+            Msg::FragmentReplica { round, owner, epoch }
+        }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(round, holder, epoch)| {
+            Msg::FragmentStored { round, holder, epoch }
+        }),
+        (any::<u64>(), any::<u32>(), any::<u64>())
+            .prop_map(|(round, rank, epoch)| Msg::ClcAck { round, rank, epoch }),
+        (any::<u64>(), any::<u64>(), ddv_strategy(), any::<bool>(), any::<u64>()).prop_map(
+            |(round, sn, ddv, forced, epoch)| Msg::ClcCommit {
+                round,
+                sn: SeqNum(sn),
+                ddv,
+                forced,
+                epoch,
+            }
+        ),
+        (payload_strategy(), any::<u64>()).prop_map(|(payload, sn)| Msg::AppIntra {
+            payload,
+            sent_at_sn: SeqNum(sn),
+        }),
+        (
+            payload_strategy(),
+            piggyback_strategy(),
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>()
+        )
+            .prop_map(|(payload, piggyback, id, resend, sender_epoch)| Msg::AppInter {
+                payload,
+                piggyback,
+                log_id: LogId(id),
+                resend,
+                sender_epoch,
+            }),
+        (any::<u64>(), any::<u64>()).prop_map(|(id, sn)| Msg::InterAck {
+            log_id: LogId(id),
+            receiver_sn: SeqNum(sn),
+        }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(sn, epoch, nc)| {
+            Msg::RollbackOrder {
+                restore_sn: SeqNum(sn),
+                epoch,
+                new_coordinator: nc,
+            }
+        }),
+        (0usize..16, any::<u64>(), any::<u64>()).prop_map(|(origin, sn, e)| Msg::RollbackAlert {
+            origin,
+            sn: SeqNum(sn),
+            origin_epoch: e,
+        }),
+        (0usize..16, any::<u64>(), any::<u64>()).prop_map(|(origin, sn, e)| Msg::AlertLocal {
+            origin,
+            sn: SeqNum(sn),
+            origin_epoch: e,
+        }),
+        Just(Msg::GcCollect),
+        (
+            0usize..16,
+            prop::collection::vec((any::<u64>(), ddv_strategy()), 0..6)
+        )
+            .prop_map(|(cluster, raw)| Msg::GcDdvList {
+                cluster,
+                list: raw.into_iter().map(|(sn, ddv)| (SeqNum(sn), ddv)).collect(),
+            }),
+        prop::collection::vec(any::<u64>(), 0..8).prop_map(|v| Msg::GcPrune {
+            min_sns: v.into_iter().map(SeqNum).collect(),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_message_round_trips(msg in msg_strategy()) {
+        let wire = encode(&msg);
+        prop_assert_eq!(decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn envelopes_round_trip(
+        msg in msg_strategy(),
+        fc in any::<u16>(), fr in any::<u32>(),
+        tc in any::<u16>(), tr in any::<u32>(),
+    ) {
+        let from = NodeId::new(fc, fr);
+        let to = NodeId::new(tc, tr);
+        let wire = encode_envelope(from, to, &msg);
+        let (f, t, m) = decode_envelope(&wire).unwrap();
+        prop_assert_eq!(f, from);
+        prop_assert_eq!(t, to);
+        prop_assert_eq!(m, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+        let _ = decode_envelope(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_messages(
+        msg in msg_strategy(),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut wire = encode(&msg);
+        if wire.is_empty() {
+            return Ok(());
+        }
+        let idx = flip_at.index(wire.len());
+        wire[idx] = new_byte;
+        let _ = decode(&wire); // must not panic; Err or a different Msg are both fine
+    }
+
+    #[test]
+    fn encoding_is_deterministic(msg in msg_strategy()) {
+        prop_assert_eq!(encode(&msg), encode(&msg));
+    }
+}

@@ -1,0 +1,301 @@
+//! The simulation executive.
+//!
+//! A `Simulation` owns the clock, the pending-event set and a user-supplied
+//! *world* (the model). The world handles one event at a time and schedules
+//! follow-up events through the [`Ctx`] handle it receives. The design is
+//! the event-scheduling flavour of discrete-event simulation — the same
+//! world view C++SIM's process threads expose, but deterministic and with no
+//! thread-scheduling nondeterminism.
+
+use crate::queue::{EventKey, EventQueue};
+use crate::time::SimTime;
+
+/// The model being simulated: a state machine fed one event at a time.
+pub trait World {
+    /// The world's event alphabet.
+    type Event;
+
+    /// Handle `event` occurring at `ctx.now()`. Schedule follow-ups via `ctx`.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Scheduling handle passed to [`World::handle`].
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// model bug and panics (it would silently reorder causality otherwise).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedule `event` after `delay` from now, saturating at the end of time.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) -> EventKey {
+        let at = self.now.saturating_add(delay);
+        self.queue.push(at, event)
+    }
+
+    /// Cancel a previously scheduled event (e.g. to reset a timer).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Ask the executive to stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained.
+    Exhausted,
+    /// The world requested a stop.
+    Stopped,
+    /// The time horizon passed; remaining events are still pending.
+    HorizonReached,
+    /// The configured event budget was consumed.
+    BudgetExhausted,
+}
+
+/// The simulation executive: clock + event set + world.
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    stop_requested: bool,
+    events_processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Wrap `world` with an empty schedule at t = 0.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stop_requested: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (between runs; e.g. to extract stats).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an initial event from outside the world.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) -> EventKey {
+        assert!(at >= self.now, "initial event scheduled in the past");
+        self.queue.push(at, event)
+    }
+
+    /// Dispatch a single event. Returns `false` if none is pending.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue returned a past event");
+        self.now = at;
+        self.events_processed += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut self.stop_requested,
+        };
+        self.world.handle(&mut ctx, event);
+        true
+    }
+
+    /// Run until the event set drains or the world calls [`Ctx::stop`].
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_with_budget(u64::MAX)
+    }
+
+    /// Run, but dispatch at most `budget` events (guards runaway models).
+    pub fn run_with_budget(&mut self, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        while !self.stop_requested {
+            if remaining == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            if !self.step() {
+                return RunOutcome::Exhausted;
+            }
+            remaining -= 1;
+        }
+        RunOutcome::Stopped
+    }
+
+    /// Run until simulated time strictly exceeds `horizon` (events at exactly
+    /// `horizon` are dispatched). The clock is left at the last dispatched
+    /// event's time.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        while !self.stop_requested {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+        RunOutcome::Stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that plays ping-pong `limit` times.
+    struct PingPong {
+        count: u32,
+        limit: u32,
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    impl World for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+            match event {
+                Ev::Ping => {
+                    self.log.push((ctx.now().nanos(), "ping"));
+                    ctx.schedule_in(SimDuration::from_secs(1), Ev::Pong);
+                }
+                Ev::Pong => {
+                    self.log.push((ctx.now().nanos(), "pong"));
+                    self.count += 1;
+                    if self.count < self.limit {
+                        ctx.schedule_in(SimDuration::from_secs(1), Ev::Ping);
+                    } else {
+                        ctx.stop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn pingpong(limit: u32) -> Simulation<PingPong> {
+        let mut sim = Simulation::new(PingPong {
+            count: 0,
+            limit,
+            log: vec![],
+        });
+        sim.schedule_at(SimTime::ZERO, Ev::Ping);
+        sim
+    }
+
+    #[test]
+    fn runs_to_stop() {
+        let mut sim = pingpong(3);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.world().count, 3);
+        assert_eq!(sim.events_processed(), 6);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn exhausts_when_no_events() {
+        struct Inert;
+        impl World for Inert {
+            type Event = ();
+            fn handle(&mut self, _: &mut Ctx<'_, ()>, _: ()) {}
+        }
+        let mut sim = Simulation::new(Inert);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+    }
+
+    #[test]
+    fn horizon_stops_dispatch() {
+        let mut sim = pingpong(100);
+        let outcome = sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Events at t=0..=10s fired: ping@0, pong@1 ... 11 events.
+        assert_eq!(sim.events_processed(), 11);
+        assert!(sim.now() <= SimTime::ZERO + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn budget_limits_events() {
+        let mut sim = pingpong(1_000);
+        assert_eq!(sim.run_with_budget(7), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.events_processed(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                if ev == 1 {
+                    ctx.schedule_at(SimTime::ZERO, 2);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule_at(SimTime::ZERO + SimDuration::from_secs(1), 1);
+        sim.run();
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |limit| {
+            let mut sim = pingpong(limit);
+            sim.run();
+            sim.into_world().log
+        };
+        assert_eq!(run(50), run(50));
+    }
+}

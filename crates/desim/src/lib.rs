@@ -1,0 +1,53 @@
+//! # desim — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate replacing the C++SIM library the paper used
+//! for its evaluation (§5.1). It provides:
+//!
+//! * a simulated clock and cancellable future-event list ([`EventQueue`]),
+//! * an event-scheduling executive ([`Simulation`] / [`World`]),
+//! * named, independent, reproducible RNG streams ([`RngStreams`]),
+//! * statistics collectors ([`StatsRegistry`], [`Counter`], [`Tally`],
+//!   [`TimeSeries`], [`Histogram`]),
+//! * configurable tracing mirroring the paper's compile-time trace levels
+//!   ([`Tracer`]).
+//!
+//! Unlike C++SIM's process threads, the executive is strictly sequential and
+//! deterministic: events at equal timestamps fire in scheduling order, so a
+//! federation run is a pure function of its configuration and seed.
+//!
+//! ```
+//! use desim::{Simulation, World, Ctx, SimTime, SimDuration};
+//!
+//! struct Clock { ticks: u32 }
+//! impl World for Clock {
+//!     type Event = ();
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+//!         self.ticks += 1;
+//!         if self.ticks < 3 {
+//!             ctx.schedule_in(SimDuration::from_secs(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Clock { ticks: 0 });
+//! sim.schedule_at(SimTime::ZERO, ());
+//! sim.run();
+//! assert_eq!(sim.world().ticks, 3);
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, RunOutcome, Simulation, World};
+pub use queue::{EventKey, EventQueue};
+pub use rng::{exponential, uniform, RngStreams};
+pub use stats::{Counter, Histogram, StatsRegistry, Tally, TimeSeries};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceLevel, TraceRecord, Tracer};

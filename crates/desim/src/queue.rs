@@ -1,0 +1,235 @@
+//! The pending-event set.
+//!
+//! A binary min-heap of `(time, seq)` keys. `seq` is a monotonically
+//! increasing tie-breaker so that events scheduled for the same instant fire
+//! in scheduling order — this is what makes whole-federation runs
+//! bit-for-bit reproducible under a fixed seed.
+//!
+//! Cancellation (needed for resettable protocol timers: "the timer is reset
+//! when a forced CLC is established") is lazy: cancelled keys stay in the
+//! heap and are skipped on pop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+impl EventKey {
+    /// The raw sequence number (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Future event list: a cancellable, deterministic priority queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Keys currently pending (pushed, not yet popped or cancelled). The
+    /// heap may hold stale entries for cancelled keys; `pop` skips them.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`; returns a cancellation key.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.live.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped and not already cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.live.remove(&key.0)
+    }
+
+    /// Remove and return the earliest live event with its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.seq) {
+                return Some((entry.at, entry.event));
+            }
+            // Stale entry for a cancelled key: drop and continue.
+        }
+        None
+    }
+
+    /// Firing time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), "c");
+        q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(t(1), "a");
+        let b = q.push(t(2), "b");
+        let _c = q.push(t(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_fails_second_time() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_pop_fails() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_key_fails() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_popped_key_after_later_pushes_fails() {
+        // Regression: found by the model-based property test. Cancelling a
+        // key that was already popped must fail even while other events are
+        // live, and must not corrupt the live count.
+        let mut q = EventQueue::new();
+        let a = q.push(t(0), 1);
+        q.push(t(0), 2);
+        assert_eq!(q.pop(), Some((t(0), 1)));
+        q.push(t(0), 3);
+        q.push(t(0), 4);
+        assert!(!q.cancel(a), "key was already consumed");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((t(0), 2)));
+        assert_eq!(q.pop(), Some((t(0), 3)));
+        assert_eq!(q.pop(), Some((t(0), 4)));
+        assert!(q.is_empty());
+    }
+}

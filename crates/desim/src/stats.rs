@@ -1,0 +1,367 @@
+//! Statistics collection.
+//!
+//! The simulator's observable output is statistical (the paper reports CLC
+//! counts, message counts, stored-checkpoint counts before/after GC). This
+//! module provides the collectors those reports are built from:
+//!
+//! * [`Counter`] — monotonically increasing event count;
+//! * [`Tally`] — running mean/variance/min/max (Welford);
+//! * [`TimeSeries`] — `(time, value)` samples, e.g. stored CLCs over time;
+//! * [`Histogram`] — fixed-width bins with under/overflow;
+//! * [`StatsRegistry`] — a string-keyed bag of all of the above so drivers
+//!   can dump every metric uniformly at end of run.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Running summary statistics over a stream of samples (Welford's method).
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Unbiased sample variance (0 if fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A `(time, value)` sample sequence.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        TimeSeries { samples: vec![] }
+    }
+    /// Append a sample; times must be non-decreasing.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(at >= last, "time series sampled out of order");
+        }
+        self.samples.push((at, value));
+    }
+    /// All samples in order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+    /// Last sample value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with underflow/overflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    tally: Tally,
+}
+
+impl Histogram {
+    /// `nbins` equal bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            width: (hi - lo) / nbins as f64,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            tally: Tally::new(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.tally.record(x);
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+    /// Number of in-range bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+    /// Summary statistics of all recorded samples (including out-of-range).
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+}
+
+/// A string-keyed registry of every collector, for uniform end-of-run dumps.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, Counter>,
+    tallies: BTreeMap<String, Tally>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl StatsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create a counter.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+    /// Get-or-create a tally.
+    pub fn tally(&mut self, name: &str) -> &mut Tally {
+        self.tallies.entry(name.to_string()).or_default()
+    }
+    /// Get-or-create a time series.
+    pub fn series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_string()).or_default()
+    }
+
+    /// Read a counter's value (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+    /// Read a tally (if present).
+    pub fn tally_ref(&self, name: &str) -> Option<&Tally> {
+        self.tallies.get(name)
+    }
+    /// Read a series (if present).
+    pub fn series_ref(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+}
+
+impl fmt::Display for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.counters {
+            writeln!(f, "counter {name} = {}", c.get())?;
+        }
+        for (name, t) in &self.tallies {
+            writeln!(
+                f,
+                "tally   {name}: n={} mean={:.4} sd={:.4}",
+                t.count(),
+                t.mean(),
+                t.stddev()
+            )?;
+        }
+        for (name, s) in &self.series {
+            writeln!(f, "series  {name}: {} samples", s.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn tally_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn series_records_in_order() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::ZERO + SimDuration::from_secs(1), 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn series_rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::ZERO + SimDuration::from_secs(1), 1.0);
+        s.record(SimTime::ZERO, 2.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 55.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin(0), 2); // 0.0, 1.9
+        assert_eq!(h.bin(1), 1); // 2.0
+        assert_eq!(h.bin(4), 1); // 9.9
+        assert_eq!(h.tally().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let mut r = StatsRegistry::new();
+        r.counter("clc.forced").add(3);
+        r.tally("rollback.depth").record(2.0);
+        r.series("clcs.stored").record(SimTime::ZERO, 1.0);
+        assert_eq!(r.counter_value("clc.forced"), 3);
+        assert_eq!(r.counter_value("missing"), 0);
+        assert_eq!(r.tally_ref("rollback.depth").unwrap().count(), 1);
+        assert_eq!(r.series_ref("clcs.stored").unwrap().len(), 1);
+        let dump = r.to_string();
+        assert!(dump.contains("clc.forced"));
+        assert!(dump.contains("rollback.depth"));
+    }
+}

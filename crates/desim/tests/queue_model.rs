@@ -1,0 +1,122 @@
+//! Model-based property test: the cancellable event queue behaves exactly
+//! like a reference implementation built on `BTreeMap`.
+
+use desim::{EventQueue, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event at the given (small) time.
+    Push(u64),
+    /// Pop the earliest event.
+    Pop,
+    /// Cancel the k-th key handed out so far (if any).
+    Cancel(usize),
+    /// Peek the earliest pending time.
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..50).prop_map(Op::Push),
+        3 => Just(Op::Pop),
+        2 => any::<prop::sample::Index>().prop_map(|i| Op::Cancel(i.index(64))),
+        1 => Just(Op::Peek),
+    ]
+}
+
+/// Reference model: BTreeMap keyed by (time, seq) with a cancelled set.
+#[derive(Default)]
+struct Model {
+    live: BTreeMap<(u64, u64), u64>, // (time, seq) -> value
+    next_seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, t: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert((t, seq), seq);
+        seq
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let (&key, &v) = self.live.iter().next()?;
+        self.live.remove(&key);
+        Some((key.0, v))
+    }
+    fn cancel(&mut self, seq: u64) -> bool {
+        let key = self.live.iter().find(|(&(_, s), _)| s == seq).map(|(&k, _)| k);
+        match key {
+            Some(k) => {
+                self.live.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+    fn peek(&self) -> Option<u64> {
+        self.live.keys().next().map(|&(t, _)| t)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut model = Model::default();
+        let mut keys = Vec::new();
+        let mut popped_seqs = std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    let key = queue.push(SimTime(t), model.next_seq);
+                    let seq = model.push(t);
+                    prop_assert_eq!(key.raw(), seq);
+                    keys.push(key);
+                }
+                Op::Pop => {
+                    let got = queue.pop();
+                    let want = model.pop();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((t, v)), Some((mt, mv))) => {
+                            prop_assert_eq!(t, SimTime(mt));
+                            prop_assert_eq!(v, mv);
+                            popped_seqs.insert(v);
+                        }
+                        (g, w) => prop_assert!(false, "queue {g:?} vs model {w:?}"),
+                    }
+                }
+                Op::Cancel(i) => {
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let key = keys[i % keys.len()];
+                    let got = queue.cancel(key);
+                    let want = model.cancel(key.raw());
+                    prop_assert_eq!(got, want, "cancel({})", key.raw());
+                }
+                Op::Peek => {
+                    prop_assert_eq!(queue.peek_time(), model.peek().map(SimTime));
+                }
+            }
+            prop_assert_eq!(queue.len(), model.live.len());
+        }
+
+        // Drain both and compare the tails.
+        loop {
+            match (queue.pop(), model.pop()) {
+                (None, None) => break,
+                (Some((t, v)), Some((mt, mv))) => {
+                    prop_assert_eq!(t, SimTime(mt));
+                    prop_assert_eq!(v, mv);
+                }
+                (g, w) => prop_assert!(false, "tail mismatch {g:?} vs {w:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Message delivery timing and traffic accounting.
+//!
+//! The network is reliable ("a sent message will be received in an arbitrary
+//! but finite laps of time" — paper §2.1): no loss, no duplication. We add
+//! per-directed-channel FIFO ordering, which is what a SAN or a TCP-backed
+//! WAN link provides in practice and what keeps two-phase-commit rounds
+//! simple.
+//!
+//! Delivery time = queueing (optional contention model) + serialization
+//! (size / bandwidth) + propagation latency. Every message is also charged
+//! to a `(from_cluster, to_cluster, class)` account — the paper's Table 1 is
+//! exactly a dump of those accounts for the application class.
+
+use crate::ids::{ClusterId, NodeId};
+use crate::topology::Topology;
+use desim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// What a message is, for accounting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Application payload.
+    App,
+    /// Checkpointing-protocol control traffic (2PC rounds, alerts, GC).
+    Protocol,
+    /// Acknowledgements of inter-cluster application messages.
+    Ack,
+}
+
+/// How concurrent transfers share a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionModel {
+    /// Infinite capacity: every transfer sees full bandwidth (the classic
+    /// latency+bandwidth DES model; paper-faithful for light traffic).
+    #[default]
+    Unlimited,
+    /// Transfers on the same directed *cluster pair* serialize (models a
+    /// single shared inter-cluster pipe; intra-cluster stays unlimited).
+    InterClusterFifo,
+}
+
+/// Cumulative per-account traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCell {
+    /// Message count.
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// The network model: timing + accounting.
+pub struct Network {
+    topology: Topology,
+    contention: ContentionModel,
+    /// Per directed node channel: last scheduled arrival (FIFO ordering).
+    channel_last_arrival: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per directed cluster pair: when the shared pipe frees up.
+    pipe_free_at: HashMap<(ClusterId, ClusterId), SimTime>,
+    /// Accounting: (from_cluster, to_cluster, class) -> traffic.
+    accounts: HashMap<(ClusterId, ClusterId, MessageClass), TrafficCell>,
+}
+
+impl Network {
+    /// A network over `topology` with the default (unlimited) contention.
+    pub fn new(topology: Topology) -> Self {
+        Network {
+            topology,
+            contention: ContentionModel::default(),
+            channel_last_arrival: HashMap::new(),
+            pipe_free_at: HashMap::new(),
+            accounts: HashMap::new(),
+        }
+    }
+
+    /// Select the contention model.
+    pub fn with_contention(mut self, model: ContentionModel) -> Self {
+        self.contention = model;
+        self
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Compute the arrival time of a message sent now, update FIFO state and
+    /// charge the traffic account. Never returns a time `<= now`.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        class: MessageClass,
+    ) -> SimTime {
+        let link = self.topology.link_between(from.cluster, to.cluster);
+        let transmit = link.transmit_time(bytes);
+
+        // Queueing under the chosen contention model.
+        let depart = match self.contention {
+            ContentionModel::Unlimited => now,
+            ContentionModel::InterClusterFifo if from.cluster != to.cluster => {
+                let pipe = self
+                    .pipe_free_at
+                    .entry((from.cluster, to.cluster))
+                    .or_insert(SimTime::ZERO);
+                let depart = (*pipe).max(now);
+                *pipe = depart.saturating_add(transmit);
+                depart
+            }
+            ContentionModel::InterClusterFifo => now,
+        };
+
+        let mut arrival = depart
+            .saturating_add(transmit)
+            .saturating_add(link.latency);
+        // Enforce FIFO per directed node channel.
+        let last = self
+            .channel_last_arrival
+            .entry((from, to))
+            .or_insert(SimTime::ZERO);
+        if arrival <= *last {
+            arrival = last.saturating_add(SimDuration::from_nanos(1));
+        }
+        *last = arrival;
+
+        // Make progress even for zero-latency zero-size sends.
+        if arrival <= now {
+            arrival = now.saturating_add(SimDuration::from_nanos(1));
+        }
+
+        let cell = self
+            .accounts
+            .entry((from.cluster, to.cluster, class))
+            .or_default();
+        cell.messages += 1;
+        cell.bytes += bytes;
+
+        arrival
+    }
+
+    /// Traffic charged to a `(from, to, class)` account.
+    pub fn traffic(&self, from: ClusterId, to: ClusterId, class: MessageClass) -> TrafficCell {
+        self.accounts
+            .get(&(from, to, class))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All application messages from `from` to `to` (the Table 1 cells).
+    pub fn app_messages(&self, from: ClusterId, to: ClusterId) -> u64 {
+        self.traffic(from, to, MessageClass::App).messages
+    }
+
+    /// Total protocol-control messages (all cluster pairs).
+    pub fn total_protocol_messages(&self) -> u64 {
+        self.total_by_class(MessageClass::Protocol)
+    }
+
+    /// Total messages of one class across all accounts.
+    pub fn total_by_class(&self, class: MessageClass) -> u64 {
+        self.accounts
+            .iter()
+            .filter(|((_, _, c), _)| *c == class)
+            .map(|(_, cell)| cell.messages)
+            .sum()
+    }
+
+    /// Total bytes of one class across all accounts.
+    pub fn total_bytes_by_class(&self, class: MessageClass) -> u64 {
+        self.accounts
+            .iter()
+            .filter(|((_, _, c), _)| *c == class)
+            .map(|(_, cell)| cell.bytes)
+            .sum()
+    }
+
+    /// Inter-cluster messages of one class (excludes intra-cluster traffic).
+    pub fn inter_cluster_by_class(&self, class: MessageClass) -> u64 {
+        self.accounts
+            .iter()
+            .filter(|((f, t, c), _)| *c == class && f != t)
+            .map(|(_, cell)| cell.messages)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterSpec, LinkSpec};
+
+    fn net() -> Network {
+        Network::new(Topology::paper_reference(2))
+    }
+
+    fn t_us(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn intra_cluster_delivery_uses_san() {
+        let mut n = net();
+        // 1000 bytes over 80 Mb/s = 100 µs; + 10 µs latency.
+        let arrival = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(0, 1),
+            1000,
+            MessageClass::App,
+        );
+        assert_eq!(arrival, t_us(110));
+    }
+
+    #[test]
+    fn inter_cluster_delivery_uses_wan() {
+        let mut n = net();
+        // 1000 bytes over 100 Mb/s = 80 µs; + 150 µs latency.
+        let arrival = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            1000,
+            MessageClass::App,
+        );
+        assert_eq!(arrival, t_us(230));
+    }
+
+    #[test]
+    fn arrival_is_strictly_after_send() {
+        let mut n = Network::new(Topology::new(
+            vec![ClusterSpec {
+                nodes: 2,
+                intra: LinkSpec {
+                    latency: SimDuration::ZERO,
+                    bandwidth_bps: 1_000_000_000,
+                },
+            }],
+            LinkSpec::ethernet_like(),
+        ));
+        let arrival = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(0, 1),
+            0,
+            MessageClass::Protocol,
+        );
+        assert!(arrival > SimTime::ZERO);
+    }
+
+    #[test]
+    fn channel_is_fifo() {
+        let mut n = net();
+        let from = NodeId::new(0, 0);
+        let to = NodeId::new(1, 0);
+        // Big message first, then a tiny one at the same instant: the tiny
+        // one must not overtake.
+        let a1 = n.send(SimTime::ZERO, from, to, 1_000_000, MessageClass::App);
+        let a2 = n.send(SimTime::ZERO, from, to, 1, MessageClass::App);
+        assert!(a2 > a1, "FIFO violated: {a2:?} <= {a1:?}");
+    }
+
+    #[test]
+    fn distinct_channels_do_not_interfere() {
+        let mut n = net();
+        let a1 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            1_000_000,
+            MessageClass::App,
+        );
+        // Different sender: no FIFO coupling under Unlimited contention.
+        let a2 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 1),
+            NodeId::new(1, 0),
+            1,
+            MessageClass::App,
+        );
+        assert!(a2 < a1);
+    }
+
+    #[test]
+    fn inter_cluster_fifo_contention_serializes_pipe() {
+        let mut n =
+            Network::new(Topology::paper_reference(2)).with_contention(ContentionModel::InterClusterFifo);
+        // Two 1 MB transfers from different senders share the 100 Mb/s pipe:
+        // each takes 80 ms to serialize; the second departs only at 80 ms.
+        let a1 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            1_000_000,
+            MessageClass::App,
+        );
+        let a2 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 1),
+            NodeId::new(1, 1),
+            1_000_000,
+            MessageClass::App,
+        );
+        assert_eq!(a1, SimTime::ZERO + SimDuration::from_micros(80_150));
+        assert_eq!(a2, SimTime::ZERO + SimDuration::from_micros(160_150));
+    }
+
+    #[test]
+    fn contention_does_not_affect_intra_cluster() {
+        let mut n =
+            Network::new(Topology::paper_reference(2)).with_contention(ContentionModel::InterClusterFifo);
+        let a1 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(0, 1),
+            1000,
+            MessageClass::App,
+        );
+        let a2 = n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 2),
+            NodeId::new(0, 3),
+            1000,
+            MessageClass::App,
+        );
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn accounting_by_pair_and_class() {
+        let mut n = net();
+        let c0 = ClusterId(0);
+        let c1 = ClusterId(1);
+        n.send(SimTime::ZERO, NodeId::new(0, 0), NodeId::new(0, 1), 10, MessageClass::App);
+        n.send(SimTime::ZERO, NodeId::new(0, 0), NodeId::new(1, 0), 20, MessageClass::App);
+        n.send(SimTime::ZERO, NodeId::new(1, 0), NodeId::new(0, 0), 30, MessageClass::Ack);
+        n.send(SimTime::ZERO, NodeId::new(0, 1), NodeId::new(0, 2), 40, MessageClass::Protocol);
+
+        assert_eq!(n.app_messages(c0, c0), 1);
+        assert_eq!(n.app_messages(c0, c1), 1);
+        assert_eq!(n.app_messages(c1, c0), 0);
+        assert_eq!(n.traffic(c1, c0, MessageClass::Ack).messages, 1);
+        assert_eq!(n.traffic(c1, c0, MessageClass::Ack).bytes, 30);
+        assert_eq!(n.total_protocol_messages(), 1);
+        assert_eq!(n.total_by_class(MessageClass::App), 2);
+        assert_eq!(n.total_bytes_by_class(MessageClass::App), 30);
+        assert_eq!(n.inter_cluster_by_class(MessageClass::App), 1);
+    }
+}

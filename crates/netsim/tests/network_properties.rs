@@ -1,0 +1,122 @@
+//! Property tests for the network model: FIFO ordering, causality and
+//! conservation of accounting.
+
+use desim::{SimDuration, SimTime};
+use netsim::{ClusterId, ContentionModel, MessageClass, Network, NodeId, Topology};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Send {
+    gap_us: u64,
+    from: (u16, u32),
+    to: (u16, u32),
+    bytes: u64,
+    class_pick: u8,
+}
+
+fn send_strategy() -> impl Strategy<Value = Send> {
+    (
+        0u64..500,
+        (0u16..2, 0u32..4),
+        (0u16..2, 0u32..4),
+        0u64..100_000,
+        0u8..3,
+    )
+        .prop_filter_map("no self sends", |(gap_us, f, t, bytes, class_pick)| {
+            (f != t).then_some(Send {
+                gap_us,
+                from: f,
+                to: t,
+                bytes,
+                class_pick,
+            })
+        })
+}
+
+fn class_of(pick: u8) -> MessageClass {
+    match pick {
+        0 => MessageClass::App,
+        1 => MessageClass::Protocol,
+        _ => MessageClass::Ack,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arrivals_are_causal_and_fifo(
+        sends in prop::collection::vec(send_strategy(), 1..120),
+        contended in any::<bool>(),
+    ) {
+        let topo = Topology::paper_reference(2);
+        let model = if contended {
+            ContentionModel::InterClusterFifo
+        } else {
+            ContentionModel::Unlimited
+        };
+        let mut net = Network::new(topo).with_contention(model);
+        let mut now = SimTime::ZERO;
+        let mut last_arrival: std::collections::HashMap<(NodeId, NodeId), SimTime> =
+            std::collections::HashMap::new();
+        let mut per_class = [0u64; 3];
+
+        for s in &sends {
+            now += SimDuration::from_micros(s.gap_us);
+            let from = NodeId::new(s.from.0, s.from.1);
+            let to = NodeId::new(s.to.0, s.to.1);
+            let class = class_of(s.class_pick);
+            let arrival = net.send(now, from, to, s.bytes, class);
+            // Causality: arrival strictly after the send.
+            prop_assert!(arrival > now, "arrival {arrival} <= send {now}");
+            // FIFO per directed channel.
+            if let Some(&prev) = last_arrival.get(&(from, to)) {
+                prop_assert!(arrival > prev, "channel reordering");
+            }
+            last_arrival.insert((from, to), arrival);
+            per_class[s.class_pick.min(2) as usize] += 1;
+        }
+
+        // Conservation: accounting matches what we sent.
+        prop_assert_eq!(net.total_by_class(MessageClass::App), per_class[0]);
+        prop_assert_eq!(net.total_by_class(MessageClass::Protocol), per_class[1]);
+        prop_assert_eq!(net.total_by_class(MessageClass::Ack), per_class[2]);
+        let matrix_total: u64 = (0..2)
+            .flat_map(|i| (0..2).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                net.traffic(ClusterId(i), ClusterId(j), MessageClass::App).messages
+                    + net.traffic(ClusterId(i), ClusterId(j), MessageClass::Protocol).messages
+                    + net.traffic(ClusterId(i), ClusterId(j), MessageClass::Ack).messages
+            })
+            .sum();
+        prop_assert_eq!(matrix_total, sends.len() as u64);
+    }
+
+    #[test]
+    fn contention_never_speeds_anything_up(
+        sends in prop::collection::vec(send_strategy(), 1..60),
+    ) {
+        let mk = |model| {
+            let mut net = Network::new(Topology::paper_reference(2)).with_contention(model);
+            let mut now = SimTime::ZERO;
+            sends
+                .iter()
+                .map(|s| {
+                    now += SimDuration::from_micros(s.gap_us);
+                    net.send(
+                        now,
+                        NodeId::new(s.from.0, s.from.1),
+                        NodeId::new(s.to.0, s.to.1),
+                        s.bytes,
+                        class_of(s.class_pick),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let free = mk(ContentionModel::Unlimited);
+        let fifo = mk(ContentionModel::InterClusterFifo);
+        for (a, b) in free.iter().zip(&fifo) {
+            prop_assert!(b >= a, "contention made a message faster");
+        }
+    }
+}

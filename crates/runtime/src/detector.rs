@@ -1,0 +1,114 @@
+//! Heartbeat failure detection.
+//!
+//! The paper scopes the failure detector out ("the description of the
+//! failure detector is out of the scope of this paper"); a runnable
+//! messaging layer still needs one. One detector thread per cluster pings
+//! every node each `period`; nodes that miss a whole round are reported to
+//! the lowest-ranked responsive node, which initiates the cluster rollback.
+//! A node revived by the rollback starts answering pings again and is
+//! eligible for re-detection later.
+
+use crate::envelope::Envelope;
+use crossbeam::channel::{self, Sender};
+use netsim::NodeId;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Heartbeat parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// Time between probe rounds.
+    pub period: Duration,
+    /// How long to wait for pongs within a round.
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: Duration::from_millis(50),
+            timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+pub(crate) struct ClusterDetector {
+    pub handle: JoinHandle<()>,
+}
+
+pub(crate) fn spawn_cluster_detector(
+    cluster: u16,
+    ranks: Vec<u32>,
+    routes: std::collections::HashMap<NodeId, Sender<Envelope>>,
+    cfg: HeartbeatConfig,
+    stop: Arc<AtomicBool>,
+) -> ClusterDetector {
+    let handle = std::thread::Builder::new()
+        .name(format!("hc3i-detector-C{cluster}"))
+        .spawn(move || {
+            let mut seq = 0u64;
+            // Ranks already reported and not yet seen alive again.
+            let mut reported: HashSet<u32> = HashSet::new();
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                let (reply_tx, reply_rx) = channel::unbounded();
+                for &r in &ranks {
+                    if let Some(tx) = routes.get(&NodeId::new(cluster, r)) {
+                        // A disconnected mailbox means shutdown.
+                        if tx
+                            .send(Envelope::Ping {
+                                seq,
+                                reply: reply_tx.clone(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                drop(reply_tx);
+                let deadline = std::time::Instant::now() + cfg.timeout;
+                let mut alive: HashSet<u32> = HashSet::new();
+                loop {
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    match reply_rx.recv_timeout(remaining) {
+                        Ok((rank, s)) if s == seq => {
+                            alive.insert(rank);
+                        }
+                        Ok(_) => {} // stale pong from a previous round
+                        Err(_) => break,
+                    }
+                }
+                // Revived nodes become reportable again.
+                reported.retain(|r| !alive.contains(r));
+                let newly_failed: Vec<u32> = ranks
+                    .iter()
+                    .copied()
+                    .filter(|r| !alive.contains(r) && !reported.contains(r))
+                    .collect();
+                if !newly_failed.is_empty() {
+                    if let Some(&detector_rank) = ranks.iter().find(|r| alive.contains(r)) {
+                        let target = NodeId::new(cluster, detector_rank);
+                        if let Some(tx) = routes.get(&target) {
+                            let _ = tx.send(Envelope::DetectMulti {
+                                failed_ranks: newly_failed.clone(),
+                            });
+                        }
+                        reported.extend(newly_failed);
+                    }
+                    // No survivor responded: nothing to report to — the
+                    // whole cluster is gone, which the fail-stop model
+                    // excludes. Retry next round.
+                }
+                std::thread::sleep(cfg.period);
+            }
+        })
+        .expect("spawn detector thread");
+    ClusterDetector { handle }
+}

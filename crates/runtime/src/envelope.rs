@@ -1,0 +1,101 @@
+//! Wire envelopes and controller-visible events of the threaded runtime.
+
+use crossbeam::channel::Sender;
+use hc3i_core::{AppPayload, Msg, SeqNum};
+use netsim::NodeId;
+
+/// What a node thread can receive in its mailbox.
+#[derive(Debug, Clone)]
+pub enum Envelope {
+    /// A protocol message from another node.
+    Net {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// The local application wants to send.
+    AppSend {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        payload: AppPayload,
+    },
+    /// Take an unforced CLC now (coordinator mailbox).
+    ClcNow,
+    /// Run a garbage collection now (GC initiator mailbox).
+    GcNow,
+    /// Fail-stop this node.
+    Fail,
+    /// The failure detector reports `failed_rank` down.
+    Detect {
+        /// Failed rank within this node's cluster.
+        failed_rank: u32,
+    },
+    /// The failure detector reports several simultaneous failures.
+    DetectMulti {
+        /// Failed ranks within this node's cluster.
+        failed_ranks: Vec<u32>,
+    },
+    /// Liveness probe from the heartbeat detector. A healthy node replies
+    /// `(rank, seq)` on the channel; a fail-stopped node stays silent.
+    Ping {
+        /// Probe sequence number.
+        seq: u64,
+        /// Where to send the pong.
+        reply: Sender<(u32, u64)>,
+    },
+    /// Stop the node thread and return its engine.
+    Shutdown,
+}
+
+/// Observable events streamed to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtEvent {
+    /// `to` delivered an application payload originally sent by `from`.
+    Delivered {
+        /// Receiving node.
+        to: NodeId,
+        /// Original sender.
+        from: NodeId,
+        /// The payload.
+        payload: AppPayload,
+    },
+    /// A CLC committed.
+    Committed {
+        /// Cluster index.
+        cluster: usize,
+        /// Committed sequence number.
+        sn: SeqNum,
+        /// Communication-induced?
+        forced: bool,
+    },
+    /// A node restored a checkpoint.
+    RolledBack {
+        /// The node.
+        node: NodeId,
+        /// Restored sequence number.
+        restore_sn: SeqNum,
+    },
+    /// Garbage collection ran on a cluster.
+    GcReport {
+        /// Cluster index.
+        cluster: usize,
+        /// Stored CLCs before.
+        before: usize,
+        /// Stored CLCs after.
+        after: usize,
+    },
+    /// A fault exceeded the replication degree.
+    Unrecoverable {
+        /// Cluster index.
+        cluster: usize,
+        /// The unrecoverable rank.
+        rank: u32,
+    },
+    /// Consistency-monitor alarm (should never fire).
+    LateCrossing {
+        /// Observing node.
+        node: NodeId,
+    },
+}

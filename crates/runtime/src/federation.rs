@@ -1,0 +1,390 @@
+//! The threaded message-passing federation.
+//!
+//! One OS thread per node; mailboxes are unbounded crossbeam channels (the
+//! "hand-rolled messaging layer": reliable, per-sender-FIFO — the same
+//! properties the paper assumes of its network). Each thread drives the
+//! *identical* [`NodeEngine`] state machine the discrete-event simulator
+//! uses; only the transport differs. The controller injects application
+//! sends, checkpoints, faults and GC, and observes a stream of
+//! [`RtEvent`]s.
+
+use crate::app::Application;
+use crate::detector::{spawn_cluster_detector, ClusterDetector, HeartbeatConfig};
+use crate::envelope::{Envelope, RtEvent};
+use std::sync::atomic::{AtomicBool, Ordering};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use desim::SimTime;
+use hc3i_core::{AppPayload, Input, NodeEngine, Output, ProtocolConfig};
+use netsim::NodeId;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Factory producing one application instance per node.
+pub type AppFactory = Arc<dyn Fn(NodeId) -> Box<dyn Application> + Send + Sync>;
+
+/// Configuration of a threaded federation.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    /// Protocol parameters (shared with the simulator).
+    pub protocol: ProtocolConfig,
+    /// Wall-clock delay between unforced CLCs per cluster (`None` = only
+    /// explicit [`Federation::checkpoint_now`] calls).
+    pub clc_delays: Vec<Option<Duration>>,
+    /// Optional per-node application (checkpointed state).
+    pub app_factory: Option<AppFactory>,
+    /// Optional heartbeat failure detection (one detector per cluster).
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl RuntimeConfig {
+    /// Manual-checkpoint config over the given cluster sizes.
+    pub fn manual(cluster_sizes: Vec<u32>) -> Self {
+        let n = cluster_sizes.len();
+        RuntimeConfig {
+            protocol: ProtocolConfig::new(cluster_sizes),
+            clc_delays: vec![None; n],
+            app_factory: None,
+            heartbeat: None,
+        }
+    }
+
+    /// Arm one cluster's periodic CLC timer.
+    pub fn with_clc_delay(mut self, cluster: usize, delay: Duration) -> Self {
+        self.clc_delays[cluster] = Some(delay);
+        self
+    }
+
+    /// Replace the protocol config.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Install a per-node application.
+    pub fn with_app(
+        mut self,
+        factory: impl Fn(NodeId) -> Box<dyn Application> + Send + Sync + 'static,
+    ) -> Self {
+        self.app_factory = Some(Arc::new(factory));
+        self
+    }
+
+    /// Enable autonomous heartbeat failure detection.
+    pub fn with_heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(cfg);
+        self
+    }
+}
+
+struct NodeThread {
+    id: NodeId,
+    engine: NodeEngine,
+    rx: Receiver<Envelope>,
+    routes: HashMap<NodeId, Sender<Envelope>>,
+    events: Sender<RtEvent>,
+    epoch: Instant,
+    clc_delay: Option<Duration>,
+    clc_deadline: Option<Instant>,
+    app: Option<Box<dyn Application>>,
+}
+
+impl NodeThread {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn run(mut self) -> NodeFinalState {
+        loop {
+            let env = match self.clc_deadline {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(timeout) {
+                        Ok(env) => env,
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.clc_deadline = None;
+                            let outs = self.engine.handle(self.now(), Input::ClcTimer);
+                            self.dispatch(outs);
+                            // If no commit re-armed it (e.g. we are not the
+                            // coordinator), re-arm manually.
+                            if self.clc_deadline.is_none() {
+                                if let Some(d) = self.clc_delay {
+                                    self.clc_deadline = Some(Instant::now() + d);
+                                }
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(env) => env,
+                    Err(_) => break,
+                },
+            };
+            let input = match env {
+                Envelope::Net { from, msg } => Input::Receive { from, msg },
+                Envelope::AppSend { to, payload } => Input::AppSend { to, payload },
+                Envelope::ClcNow => Input::ClcTimer,
+                Envelope::GcNow => Input::GcTimer,
+                Envelope::Fail => Input::Fail,
+                Envelope::Detect { failed_rank } => Input::DetectFault { failed_rank },
+                Envelope::DetectMulti { failed_ranks } => Input::DetectFaults { failed_ranks },
+                Envelope::Ping { seq, reply } => {
+                    // Liveness is a node-thread property: a fail-stopped
+                    // engine stays silent, everyone else answers.
+                    if !self.engine.is_failed() {
+                        let _ = reply.send((self.id.rank, seq));
+                    }
+                    continue;
+                }
+                Envelope::Shutdown => break,
+            };
+            let outs = self.engine.handle(self.now(), input);
+            self.dispatch(outs);
+        }
+        (self.engine, self.app)
+    }
+
+    fn dispatch(&mut self, outs: Vec<Output>) {
+        let mut queue: std::collections::VecDeque<Output> = outs.into();
+        while let Some(out) = queue.pop_front() {
+            match out {
+                Output::Send { to, msg } => {
+                    // A vanished route only happens at shutdown; drop then.
+                    if let Some(tx) = self.routes.get(&to) {
+                        let _ = tx.send(Envelope::Net { from: self.id, msg });
+                    }
+                }
+                Output::DeliverApp { from, payload } => {
+                    if let Some(app) = self.app.as_mut() {
+                        app.on_deliver(from, payload);
+                        let snap = app.snapshot();
+                        let more = self
+                            .engine
+                            .handle(self.now(), Input::AppStateUpdate { state: snap });
+                        queue.extend(more);
+                    }
+                    let _ = self.events.send(RtEvent::Delivered {
+                        to: self.id,
+                        from,
+                        payload,
+                    });
+                }
+                Output::Committed { sn, forced } => {
+                    let _ = self.events.send(RtEvent::Committed {
+                        cluster: self.id.cluster.index(),
+                        sn,
+                        forced,
+                    });
+                }
+                Output::ResetClcTimer => {
+                    if let Some(d) = self.clc_delay {
+                        self.clc_deadline = Some(Instant::now() + d);
+                    }
+                }
+                Output::RolledBack { restore_sn, .. } => {
+                    let _ = self.events.send(RtEvent::RolledBack {
+                        node: self.id,
+                        restore_sn,
+                    });
+                }
+                Output::GcReport { before, after } => {
+                    let _ = self.events.send(RtEvent::GcReport {
+                        cluster: self.id.cluster.index(),
+                        before,
+                        after,
+                    });
+                }
+                Output::Unrecoverable { failed_rank } => {
+                    let _ = self.events.send(RtEvent::Unrecoverable {
+                        cluster: self.id.cluster.index(),
+                        rank: failed_rank,
+                    });
+                }
+                Output::LateCrossing { .. } => {
+                    let _ = self.events.send(RtEvent::LateCrossing { node: self.id });
+                }
+                Output::RestoreApp { state } => {
+                    if let Some(app) = self.app.as_mut() {
+                        app.restore(state.as_deref());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Final per-node state returned by [`Federation::shutdown_with_apps`].
+pub type NodeFinalState = (NodeEngine, Option<Box<dyn Application>>);
+
+/// A running threaded federation.
+pub struct Federation {
+    routes: HashMap<NodeId, Sender<Envelope>>,
+    handles: Vec<(NodeId, JoinHandle<NodeFinalState>)>,
+    events_rx: Receiver<RtEvent>,
+    cfg: RuntimeConfig,
+    detector_stop: Arc<AtomicBool>,
+    detectors: Vec<ClusterDetector>,
+}
+
+impl Federation {
+    /// Spawn one thread per node and connect all mailboxes.
+    pub fn spawn(cfg: RuntimeConfig) -> Self {
+        let epoch = Instant::now();
+        let (events_tx, events_rx) = channel::unbounded();
+        let mut routes = HashMap::new();
+        let mut mailboxes = Vec::new();
+        for c in 0..cfg.protocol.num_clusters() {
+            for r in 0..cfg.protocol.nodes_in(c) {
+                let id = NodeId::new(c as u16, r);
+                let (tx, rx) = channel::unbounded();
+                routes.insert(id, tx);
+                mailboxes.push((id, rx));
+            }
+        }
+        let mut handles = Vec::new();
+        for (id, rx) in mailboxes {
+            let node = NodeThread {
+                id,
+                engine: NodeEngine::new(cfg.protocol.clone(), id),
+                rx,
+                routes: routes.clone(),
+                events: events_tx.clone(),
+                epoch,
+                clc_delay: cfg.clc_delays[id.cluster.index()],
+                clc_deadline: cfg.clc_delays[id.cluster.index()]
+                    .map(|d| Instant::now() + d),
+                app: cfg.app_factory.as_ref().map(|f| f(id)),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("hc3i-{id}"))
+                .spawn(move || node.run())
+                .expect("spawn node thread");
+            handles.push((id, handle));
+        }
+        let detector_stop = Arc::new(AtomicBool::new(false));
+        let mut detectors = Vec::new();
+        if let Some(hb) = cfg.heartbeat {
+            for c in 0..cfg.protocol.num_clusters() {
+                let ranks: Vec<u32> = (0..cfg.protocol.nodes_in(c)).collect();
+                detectors.push(spawn_cluster_detector(
+                    c as u16,
+                    ranks,
+                    routes.clone(),
+                    hb,
+                    detector_stop.clone(),
+                ));
+            }
+        }
+        Federation {
+            routes,
+            handles,
+            events_rx,
+            cfg,
+            detector_stop,
+            detectors,
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    fn route(&self, to: NodeId, env: Envelope) {
+        self.routes
+            .get(&to)
+            .expect("unknown node")
+            .send(env)
+            .expect("node thread alive");
+    }
+
+    /// Application send.
+    pub fn send_app(&self, from: NodeId, to: NodeId, payload: AppPayload) {
+        self.route(from, Envelope::AppSend { to, payload });
+    }
+
+    /// Take an unforced CLC in `cluster` now.
+    pub fn checkpoint_now(&self, cluster: usize) {
+        self.route(NodeId::new(cluster as u16, 0), Envelope::ClcNow);
+    }
+
+    /// Run a garbage collection now.
+    pub fn gc_now(&self) {
+        self.route(NodeId::new(0, 0), Envelope::GcNow);
+    }
+
+    /// Fail-stop a node.
+    pub fn fail(&self, node: NodeId) {
+        self.route(node, Envelope::Fail);
+    }
+
+    /// Deliver a failure-detector report to `detector`.
+    pub fn detect(&self, detector: NodeId, failed_rank: u32) {
+        self.route(detector, Envelope::Detect { failed_rank });
+    }
+
+    /// Next event, waiting up to `timeout`.
+    pub fn next_event(&self, timeout: Duration) -> Option<RtEvent> {
+        self.events_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Wait until `pred` matches an event, collecting everything seen.
+    /// Returns all events observed (the matching one last), or `None` on
+    /// timeout.
+    pub fn wait_for(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&RtEvent) -> bool,
+    ) -> Option<Vec<RtEvent>> {
+        let deadline = Instant::now() + timeout;
+        let mut seen = Vec::new();
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.events_rx.recv_timeout(remaining) {
+                Ok(ev) => {
+                    let hit = pred(&ev);
+                    seen.push(ev);
+                    if hit {
+                        return Some(seen);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Drain any already-available events without blocking.
+    pub fn drain_events(&self) -> Vec<RtEvent> {
+        self.events_rx.try_iter().collect()
+    }
+
+    /// Stop every node and return the final engines, keyed by node.
+    pub fn shutdown(self) -> HashMap<NodeId, NodeEngine> {
+        self.shutdown_with_apps()
+            .into_iter()
+            .map(|(id, (engine, _))| (id, engine))
+            .collect()
+    }
+
+    /// Stop every node and return engines plus application instances.
+    pub fn shutdown_with_apps(self) -> HashMap<NodeId, NodeFinalState> {
+        self.detector_stop.store(true, Ordering::Relaxed);
+        for tx in self.routes.values() {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        drop(self.routes);
+        for d in self.detectors {
+            let _ = d.handle.join();
+        }
+        self.handles
+            .into_iter()
+            .map(|(id, h)| (id, h.join().expect("node thread panicked")))
+            .collect()
+    }
+}

@@ -1,0 +1,22 @@
+//! # runtime — hand-rolled threaded message-passing substrate
+//!
+//! There is no mature MPI binding in the Rust ecosystem, so this crate
+//! provides the messaging layer a real deployment of the protocol needs:
+//! one OS thread per node, unbounded crossbeam-channel mailboxes (reliable,
+//! FIFO per sender — the paper's network assumptions), wall-clock CLC
+//! timers, and controller-driven fault injection. It drives the *same*
+//! [`hc3i_core::NodeEngine`] the discrete-event simulator uses, so the
+//! protocol logic validated by simulation is exercised unchanged on a real
+//! concurrent transport.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod detector;
+pub mod envelope;
+pub mod federation;
+
+pub use app::{Application, CounterApp};
+pub use detector::HeartbeatConfig;
+pub use envelope::{Envelope, RtEvent};
+pub use federation::{AppFactory, Federation, RuntimeConfig};

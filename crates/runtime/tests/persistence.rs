@@ -1,0 +1,56 @@
+//! Persisting a live federation's checkpoint stores to disk and back.
+
+use hc3i_core::{persist, AppPayload, SeqNum};
+use netsim::NodeId;
+use runtime::{CounterApp, Federation, RtEvent, RuntimeConfig};
+use std::time::Duration;
+
+#[test]
+fn engine_store_survives_a_disk_round_trip() {
+    let fed = Federation::spawn(
+        RuntimeConfig::manual(vec![2, 2]).with_app(|_| Box::new(CounterApp::new())),
+    );
+    let n = NodeId::new;
+
+    // Build up real state: a forced CLC with an app snapshot inside.
+    fed.send_app(n(0, 0), n(1, 1), AppPayload { bytes: 128, tag: 1 });
+    fed.wait_for(Duration::from_secs(5), |e| {
+        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
+    })
+    .expect("delivery");
+    fed.checkpoint_now(1);
+    fed.wait_for(Duration::from_secs(5), |e| {
+        matches!(e, RtEvent::Committed { cluster: 1, sn, .. } if *sn == SeqNum(3))
+    })
+    .expect("second checkpoint");
+
+    let engines = fed.shutdown();
+    let store = engines[&n(1, 1)].store();
+    assert_eq!(store.len(), 3, "initial + forced + manual");
+
+    let path = std::env::temp_dir().join(format!(
+        "hc3i-runtime-persist-{}.clc",
+        std::process::id()
+    ));
+    persist::save_store(store, &path).expect("save");
+    let restored = persist::load_store(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.len(), store.len());
+    assert_eq!(restored.ddv_list(), store.ddv_list());
+    // The manual CLC captured the post-delivery application snapshot.
+    let latest = restored.latest().expect("latest");
+    let app_state = latest.payload.app_state.as_ref().expect("app snapshot");
+    let mut app = CounterApp::new();
+    use runtime::Application;
+    app.restore(Some(app_state));
+    assert_eq!(app.count, 1, "snapshot contains the delivery");
+    // The forced CLC (SN 2) predates the delivery.
+    let forced = restored.get(SeqNum(2)).expect("forced CLC");
+    assert!(forced.meta.forced);
+    if let Some(state) = &forced.payload.app_state {
+        let mut before = CounterApp::new();
+        before.restore(Some(state));
+        assert_eq!(before.count, 0, "pre-delivery snapshot");
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests: the HC3I protocol on the threaded messaging layer.
+//!
+//! Same state machine as the simulator, real concurrency: these tests
+//! exercise delivery, forced CLCs, rollback with log replay, duplicate
+//! suppression and GC over OS threads and channels.
+
+use hc3i_core::{AppPayload, PiggybackMode, ProtocolConfig, SeqNum};
+use netsim::NodeId;
+use runtime::{Federation, RtEvent, RuntimeConfig};
+use std::time::Duration;
+
+const TICK: Duration = Duration::from_secs(5);
+
+fn n(c: u16, r: u32) -> NodeId {
+    NodeId::new(c, r)
+}
+
+fn pay(tag: u64) -> AppPayload {
+    AppPayload { bytes: 512, tag }
+}
+
+#[test]
+fn intra_cluster_delivery() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
+    fed.send_app(n(0, 0), n(0, 1), pay(7));
+    let seen = fed
+        .wait_for(TICK, |e| {
+            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7)
+        })
+        .expect("delivery");
+    assert!(seen
+        .iter()
+        .all(|e| !matches!(e, RtEvent::LateCrossing { .. })));
+    fed.shutdown();
+}
+
+#[test]
+fn manual_checkpoint_commits_cluster_wide() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 2]));
+    fed.checkpoint_now(0);
+    fed.wait_for(TICK, |e| {
+        matches!(
+            e,
+            RtEvent::Committed {
+                cluster: 0,
+                sn,
+                forced: false
+            } if *sn == SeqNum(2)
+        )
+    })
+    .expect("commit");
+    let engines = fed.shutdown();
+    for r in 0..3 {
+        assert_eq!(engines[&n(0, r)].sn(), SeqNum(2));
+        assert_eq!(engines[&n(0, r)].store().len(), 2);
+    }
+    assert_eq!(engines[&n(1, 0)].sn(), SeqNum(1), "cluster 1 untouched");
+}
+
+#[test]
+fn inter_cluster_message_forces_clc_and_acks() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
+    fed.send_app(n(0, 0), n(1, 1), pay(9));
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 9)
+    })
+    .expect("delivered after forced CLC");
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Committed { cluster: 1, forced: true, .. })
+    })
+    .or_else(|| {
+        // The commit event may have raced ahead of the delivery; it is
+        // already drained in that case — validate via engine state below.
+        Some(vec![])
+    });
+    let engines = fed.shutdown();
+    assert_eq!(engines[&n(1, 1)].sn(), SeqNum(2), "forced CLC committed");
+    assert_eq!(engines[&n(1, 1)].ddv().get(0), SeqNum(1));
+    let log = engines[&n(0, 0)].log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(
+        log.iter().next().unwrap().ack_sn,
+        Some(SeqNum(2)),
+        "ack flowed back to the sender log"
+    );
+}
+
+#[test]
+fn periodic_timer_checkpoints() {
+    let fed = Federation::spawn(
+        RuntimeConfig::manual(vec![2, 2]).with_clc_delay(0, Duration::from_millis(50)),
+    );
+    // Expect at least 3 timer-driven commits within a second.
+    let mut commits = 0;
+    let ok = fed.wait_for(TICK, |e| {
+        if matches!(e, RtEvent::Committed { cluster: 0, forced: false, .. }) {
+            commits += 1;
+        }
+        commits >= 3
+    });
+    assert!(ok.is_some(), "saw {commits} commits");
+    fed.shutdown();
+}
+
+#[test]
+fn receiver_fault_replays_from_sender_log() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 3]));
+    fed.send_app(n(0, 0), n(1, 2), pay(5));
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 5)
+    })
+    .expect("first delivery");
+    // Fail a cluster-1 node; the cluster restores its forced CLC, whose
+    // state predates the delivery; the sender must replay tag 5.
+    fed.fail(n(1, 1));
+    fed.detect(n(1, 0), 1);
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Delivered { payload, to, .. }
+            if payload.tag == 5 && *to == n(1, 2))
+    })
+    .expect("replayed delivery");
+    let engines = fed.shutdown();
+    assert!(!engines[&n(1, 1)].is_failed(), "revived");
+    assert_eq!(engines[&n(0, 0)].sn(), SeqNum(1), "sender never rolled back");
+}
+
+#[test]
+fn sender_fault_cascades_receiver_rollback() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
+    fed.send_app(n(0, 0), n(1, 0), pay(3));
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 3)
+    })
+    .expect("delivery");
+    fed.fail(n(0, 1));
+    fed.detect(n(0, 0), 1);
+    // Both clusters must report rollbacks: cluster 0 restores SN 1 (losing
+    // the send); cluster 1 restores its forced CLC 2 — the checkpoint that
+    // *recorded* the dependency committed before the ghost was delivered,
+    // so its state is clean.
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::RolledBack { node, restore_sn }
+            if node.cluster.0 == 1 && *restore_sn == SeqNum(2))
+    })
+    .expect("receiver cascade");
+    let engines = fed.shutdown();
+    assert_eq!(engines[&n(1, 0)].sn(), SeqNum(2));
+    assert_eq!(engines[&n(1, 0)].ddv().get(0), SeqNum(1), "stamp survives");
+    assert!(
+        engines[&n(1, 0)]
+            .store()
+            .latest()
+            .unwrap()
+            .payload
+            .delivered
+            .is_empty(),
+        "the ghost delivery is gone from the restored state"
+    );
+    assert!(engines[&n(0, 0)].log().is_empty(), "lost send de-logged");
+}
+
+#[test]
+fn gc_prunes_across_threads() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
+    // Sequence the checkpoints: back-to-back requests would coalesce into
+    // a single 2PC round at the coordinator.
+    for k in 2..=5u64 {
+        for cluster in 0..2usize {
+            fed.checkpoint_now(cluster);
+            fed.wait_for(TICK, |e| {
+                matches!(e, RtEvent::Committed { cluster: c, sn, .. }
+                    if *c == cluster && *sn == SeqNum(k))
+            })
+            .expect("sequenced commit");
+        }
+    }
+    fed.gc_now();
+    let mut reports = 0;
+    fed.wait_for(TICK, |e| {
+        if matches!(e, RtEvent::GcReport { .. }) {
+            reports += 1;
+        }
+        reports == 2
+    })
+    .expect("both clusters report");
+    let engines = fed.shutdown();
+    assert_eq!(engines[&n(0, 1)].store().len(), 1, "independent: keep latest");
+    assert_eq!(engines[&n(1, 1)].store().len(), 1);
+}
+
+#[test]
+fn concurrent_traffic_is_fully_delivered() {
+    let fed = Federation::spawn(
+        RuntimeConfig::manual(vec![4, 4])
+            .with_protocol(ProtocolConfig::new(vec![4, 4]).with_piggyback(PiggybackMode::FullDdv)),
+    );
+    let total = 200u64;
+    for k in 0..total {
+        let from = n((k % 2) as u16, (k % 4) as u32);
+        let to = n(((k + 1) % 2) as u16, ((k + 1) % 4) as u32);
+        fed.send_app(from, to, pay(1000 + k));
+    }
+    let mut delivered = 0;
+    let ok = fed.wait_for(Duration::from_secs(20), |e| {
+        if matches!(e, RtEvent::Delivered { payload, .. } if payload.tag >= 1000) {
+            delivered += 1;
+        }
+        delivered == total
+    });
+    assert!(ok.is_some(), "delivered {delivered}/{total}");
+    let seen = fed.drain_events();
+    assert!(seen
+        .iter()
+        .all(|e| !matches!(e, RtEvent::LateCrossing { .. })));
+    fed.shutdown();
+}
+
+#[test]
+fn duplicate_suppression_under_replay_race() {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
+    // Prime a dependency and ack.
+    fed.send_app(n(0, 0), n(1, 0), pay(1));
+    fed.wait_for(TICK, |e| {
+        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
+    })
+    .expect("delivery");
+    // Fail/restore the receiver twice in a row; every alert triggers a
+    // replay of the same log entry — the receiver must deliver it at most
+    // once per restored state.
+    for _ in 0..2 {
+        fed.fail(n(1, 1));
+        fed.detect(n(1, 0), 1);
+        fed.wait_for(TICK, |e| {
+            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
+        })
+        .expect("replay after rollback");
+    }
+    let engines = fed.shutdown();
+    // Delivered exactly once in the final state.
+    assert_eq!(engines[&n(1, 0)].sn(), SeqNum(2));
+}

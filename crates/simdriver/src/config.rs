@@ -1,0 +1,156 @@
+//! Simulation configuration.
+
+use desim::{SimDuration, SimTime, TraceLevel};
+use hc3i_core::ProtocolConfig;
+use netsim::{ContentionModel, NodeId, Topology};
+use workload::SendEvent;
+
+/// A scripted node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the node fail-stops.
+    pub at: SimTime,
+    /// Which node.
+    pub node: NodeId,
+}
+
+/// Everything a federation run needs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Clusters, nodes and links.
+    pub topology: Topology,
+    /// Protocol parameters (piggyback mode, replication, wire sizes).
+    pub protocol: ProtocolConfig,
+    /// Delay between unforced CLCs, per cluster (`INFINITE` = never).
+    pub clc_delays: Vec<SimDuration>,
+    /// Garbage-collection period (`None` = never).
+    pub gc_interval: Option<SimDuration>,
+    /// Failure-detection latency (fault → DetectFault delivery).
+    pub detection_delay: SimDuration,
+    /// Total simulated application time.
+    pub duration: SimDuration,
+    /// The application send schedule.
+    pub sends: Vec<SendEvent>,
+    /// Scripted faults (in addition to MTBF-driven ones if the topology
+    /// sets an MTBF).
+    pub faults: Vec<FaultEvent>,
+    /// Network contention model.
+    pub contention: ContentionModel,
+    /// Root RNG seed (MTBF fault placement).
+    pub seed: u64,
+    /// Trace level (the paper's compile-time trace levels, made runtime).
+    pub trace: TraceLevel,
+}
+
+impl SimConfig {
+    /// A config over `topology` with paper-default protocol parameters, no
+    /// timers armed, no faults, empty schedule.
+    pub fn new(topology: Topology, duration: SimDuration) -> Self {
+        let sizes = topology
+            .cluster_ids()
+            .map(|c| topology.nodes_in(c))
+            .collect::<Vec<_>>();
+        let n = sizes.len();
+        SimConfig {
+            topology,
+            protocol: ProtocolConfig::new(sizes),
+            clc_delays: vec![SimDuration::INFINITE; n],
+            gc_interval: None,
+            detection_delay: SimDuration::from_millis(100),
+            duration,
+            sends: vec![],
+            faults: vec![],
+            contention: ContentionModel::Unlimited,
+            seed: 0xC3C3_C3C3,
+            trace: TraceLevel::Off,
+        }
+    }
+
+    /// Set one cluster's unforced-CLC delay.
+    pub fn with_clc_delay(mut self, cluster: usize, delay: SimDuration) -> Self {
+        self.clc_delays[cluster] = delay;
+        self
+    }
+
+    /// Set the GC period.
+    pub fn with_gc_interval(mut self, interval: SimDuration) -> Self {
+        self.gc_interval = Some(interval);
+        self
+    }
+
+    /// Replace the send schedule.
+    pub fn with_sends(mut self, sends: Vec<SendEvent>) -> Self {
+        self.sends = sends;
+        self
+    }
+
+    /// Add a scripted fault.
+    pub fn with_fault(mut self, at: SimTime, node: NodeId) -> Self {
+        self.faults.push(FaultEvent { at, node });
+        self
+    }
+
+    /// Replace the protocol configuration.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        assert_eq!(
+            protocol.num_clusters(),
+            self.topology.num_clusters(),
+            "protocol/topology cluster count mismatch"
+        );
+        self.protocol = protocol;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the trace level.
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// End of simulated time.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quiet() {
+        let c = SimConfig::new(Topology::paper_reference(2), SimDuration::from_hours(1));
+        assert!(c.clc_delays.iter().all(|d| d.is_infinite()));
+        assert!(c.gc_interval.is_none());
+        assert!(c.sends.is_empty());
+        assert_eq!(c.protocol.num_clusters(), 2);
+        assert_eq!(c.horizon(), SimTime::ZERO + SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::new(Topology::paper_reference(2), SimDuration::from_hours(1))
+            .with_clc_delay(0, SimDuration::from_minutes(30))
+            .with_gc_interval(SimDuration::from_hours(2))
+            .with_fault(SimTime::ZERO + SimDuration::from_minutes(5), NodeId::new(0, 3))
+            .with_seed(7);
+        assert_eq!(c.clc_delays[0], SimDuration::from_minutes(30));
+        assert!(c.clc_delays[1].is_infinite());
+        assert_eq!(c.gc_interval, Some(SimDuration::from_hours(2)));
+        assert_eq!(c.faults.len(), 1);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn protocol_dimension_checked() {
+        let _ = SimConfig::new(Topology::paper_reference(2), SimDuration::from_hours(1))
+            .with_protocol(hc3i_core::ProtocolConfig::new(vec![4, 4, 4]));
+    }
+}

@@ -1,0 +1,19 @@
+//! # simdriver — federation simulations of the HC3I protocol
+//!
+//! Binds the substrates together into runnable experiments: protocol
+//! engines (`hc3i-core`) speak over the network model (`netsim`) inside the
+//! discrete-event executive (`desim`), fed by `workload` schedules, with
+//! scripted or MTBF-driven fail-stop faults, and produce a [`RunReport`]
+//! with the statistics the paper's evaluation section reports.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod run;
+pub mod world;
+
+pub use config::{FaultEvent, SimConfig};
+pub use report::{ClusterStats, RunReport};
+pub use run::{run, run_traced};
+pub use world::{Ev, FederationWorld};

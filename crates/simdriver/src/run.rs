@@ -1,0 +1,260 @@
+//! The run entry point.
+
+use crate::config::SimConfig;
+use crate::report::RunReport;
+use crate::world::{Ev, FederationWorld};
+use desim::{exponential, RngStreams, RunOutcome, SimDuration, SimTime, Simulation};
+use netsim::NodeId;
+use rand::Rng;
+
+/// Hard ceiling on dispatched events, guarding against model bugs.
+const EVENT_BUDGET: u64 = 500_000_000;
+
+/// Run one federation simulation to completion and report.
+///
+/// # Panics
+/// If the event budget is exhausted (a protocol livelock — never expected).
+pub fn run(cfg: SimConfig) -> RunReport {
+    run_traced(cfg).0
+}
+
+/// Like [`run`], but also returns the collected trace (records only at
+/// the level set by [`SimConfig::trace`]).
+pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
+    let streams = RngStreams::new(cfg.seed);
+    let horizon = cfg.horizon();
+    let mut sim = Simulation::new(FederationWorld::new(cfg));
+
+    // Schedule the workload.
+    let sends = sim.world().cfg.sends.clone();
+    for (tag, s) in sends.into_iter().enumerate() {
+        sim.schedule_at(
+            s.at,
+            Ev::AppSend {
+                from: s.from,
+                to: s.to,
+                bytes: s.bytes,
+                tag: tag as u64,
+            },
+        );
+    }
+
+    // Scripted faults.
+    let faults = sim.world().cfg.faults.clone();
+    for f in faults {
+        sim.schedule_at(f.at, Ev::Fault { node: f.node });
+    }
+
+    // MTBF-driven faults.
+    if let Some(mtbf) = sim.world().cfg.topology.mtbf {
+        let total_nodes = sim.world().cfg.topology.total_nodes();
+        let cluster_sizes: Vec<u32> = {
+            let topo = &sim.world().cfg.topology;
+            topo.cluster_ids().map(|c| topo.nodes_in(c)).collect()
+        };
+        let mut rng = streams.stream("faults", 0);
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = exponential(&mut rng, mtbf.as_secs_f64());
+            t = t.saturating_add(SimDuration::from_secs_f64(gap));
+            if t >= horizon {
+                break;
+            }
+            let mut idx = rng.gen_range(0..total_nodes);
+            let mut node = NodeId::new(0, 0);
+            for (c, &size) in cluster_sizes.iter().enumerate() {
+                if idx < size as u64 {
+                    node = NodeId::new(c as u16, idx as u32);
+                    break;
+                }
+                idx -= size as u64;
+            }
+            sim.schedule_at(t, Ev::Fault { node });
+        }
+    }
+
+    // Periodic timers.
+    {
+        let delays = sim.world().cfg.clc_delays.clone();
+        for (cluster, delay) in delays.into_iter().enumerate() {
+            if !delay.is_infinite() {
+                let key = sim.schedule_at(SimTime::ZERO + delay, Ev::ClcTimer { cluster });
+                sim.world_mut().clc_timer_keys[cluster] = Some(key);
+            }
+        }
+        if let Some(interval) = sim.world().cfg.gc_interval {
+            sim.schedule_at(SimTime::ZERO + interval, Ev::GcTimer);
+        }
+    }
+
+    sim.schedule_at(horizon, Ev::End);
+
+    let outcome = sim.run_with_budget(EVENT_BUDGET);
+    assert_ne!(
+        outcome,
+        RunOutcome::BudgetExhausted,
+        "simulation exceeded the event budget — protocol livelock?"
+    );
+    let now = sim.now();
+    let events = sim.events_processed();
+    let report = sim.world_mut().finalize(now, events);
+    let world = sim.into_world();
+    (report, world.tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use netsim::Topology;
+    use workload::{TargetCountWorkload, Workload};
+
+    fn small_cfg(duration_min: u64) -> SimConfig {
+        let topo = Topology::new(
+            vec![
+                netsim::ClusterSpec {
+                    nodes: 4,
+                    intra: netsim::LinkSpec::myrinet_like(),
+                };
+                2
+            ],
+            netsim::LinkSpec::ethernet_like(),
+        );
+        SimConfig::new(topo, SimDuration::from_minutes(duration_min))
+    }
+
+    fn small_workload(duration_min: u64, counts: Vec<Vec<u64>>) -> Vec<workload::SendEvent> {
+        TargetCountWorkload {
+            cluster_sizes: vec![4, 4],
+            duration: SimDuration::from_minutes(duration_min),
+            counts,
+            payload_bytes: 256,
+        }
+        .schedule(&RngStreams::new(99))
+    }
+
+    #[test]
+    fn quiet_run_produces_no_clcs() {
+        let report = run(small_cfg(10));
+        assert_eq!(report.clusters[0].total_clcs(), 0);
+        assert_eq!(report.app_sent, 0);
+        assert_eq!(report.late_crossings, 0);
+    }
+
+    #[test]
+    fn timer_driven_clcs_accumulate() {
+        let cfg = small_cfg(60).with_clc_delay(0, SimDuration::from_minutes(10));
+        let report = run(cfg);
+        // 60 minutes / 10-minute timer: 5–6 unforced CLCs in cluster 0.
+        let c0 = &report.clusters[0];
+        assert!(
+            (5..=6).contains(&c0.unforced_clcs),
+            "got {} unforced",
+            c0.unforced_clcs
+        );
+        assert_eq!(c0.forced_clcs, 0);
+        assert_eq!(report.clusters[1].total_clcs(), 0);
+    }
+
+    #[test]
+    fn traffic_is_delivered_and_counted() {
+        let sends = small_workload(10, vec![vec![50, 5], vec![5, 50]]);
+        let n_sends = sends.len() as u64;
+        let report = run(small_cfg(10).with_sends(sends));
+        assert_eq!(report.app_sent, n_sends);
+        assert_eq!(report.app_delivered, n_sends, "reliable network");
+        assert_eq!(report.app_matrix[0][0], 50);
+        assert_eq!(report.app_matrix[0][1], 5);
+        assert_eq!(report.late_crossings, 0);
+    }
+
+    #[test]
+    fn inter_cluster_messages_force_clcs() {
+        // Cluster 0 checkpoints on a timer; each new CLC makes the next
+        // 0→1 message force a CLC in cluster 1.
+        let sends = small_workload(60, vec![vec![0, 30], vec![0, 0]]);
+        let cfg = small_cfg(60)
+            .with_clc_delay(0, SimDuration::from_minutes(10))
+            .with_sends(sends);
+        let report = run(cfg);
+        let forced = report.clusters[1].forced_clcs;
+        // First message forces (SN 1 > 0); then one force per cluster-0 CLC
+        // that is followed by a message: ≈ 6 + 1, bounded by message count.
+        assert!(forced >= 2, "got {forced}");
+        assert!(forced <= 8, "got {forced}");
+        assert_eq!(report.clusters[1].unforced_clcs, 0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mk = || {
+            let sends = small_workload(30, vec![vec![40, 8], vec![8, 40]]);
+            run(small_cfg(30)
+                .with_clc_delay(0, SimDuration::from_minutes(5))
+                .with_clc_delay(1, SimDuration::from_minutes(7))
+                .with_sends(sends))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.app_delivered, b.app_delivered);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(
+            a.clusters[0].total_clcs(),
+            b.clusters[0].total_clcs()
+        );
+        assert_eq!(a.protocol_messages, b.protocol_messages);
+    }
+
+    #[test]
+    fn fault_triggers_rollback_and_recovery() {
+        let sends = small_workload(30, vec![vec![40, 5], vec![0, 40]]);
+        let cfg = small_cfg(30)
+            .with_clc_delay(0, SimDuration::from_minutes(5))
+            .with_clc_delay(1, SimDuration::from_minutes(5))
+            .with_sends(sends)
+            .with_fault(
+                SimTime::ZERO + SimDuration::from_minutes(17),
+                NodeId::new(0, 2),
+            );
+        let report = run(cfg);
+        assert_eq!(report.clusters[0].rollbacks.len(), 1);
+        let (at, sn, _) = report.clusters[0].rollbacks[0];
+        assert!(at >= SimTime::ZERO + SimDuration::from_minutes(17));
+        assert!(sn.value() >= 1);
+        assert_eq!(report.unrecoverable_faults, 0);
+        // Work lost is under one timer period (fault at 17 min, CLC at 15).
+        assert!(report.clusters[0].work_lost[0] <= SimDuration::from_minutes(5));
+        assert_eq!(report.late_crossings, 0);
+    }
+
+    #[test]
+    fn gc_prunes_during_run() {
+        let cfg = small_cfg(120)
+            .with_clc_delay(0, SimDuration::from_minutes(10))
+            .with_clc_delay(1, SimDuration::from_minutes(10))
+            .with_gc_interval(SimDuration::from_minutes(45));
+        let report = run(cfg);
+        let gc0 = &report.clusters[0].gc_before_after;
+        assert!(gc0.len() >= 2, "two GCs in 120 min: {gc0:?}");
+        for &(before, after) in gc0 {
+            assert!(after <= before);
+            assert!(after >= 1);
+        }
+        // Independent clusters: GC collapses storage to the latest CLC.
+        assert!(gc0.iter().all(|&(_, after)| after == 1));
+    }
+
+    #[test]
+    fn mtbf_faults_fire() {
+        let mut cfg = small_cfg(600).with_clc_delay(0, SimDuration::from_minutes(30));
+        cfg.topology.mtbf = Some(SimDuration::from_hours(2));
+        cfg = cfg.with_clc_delay(1, SimDuration::from_minutes(30));
+        let report = run(cfg);
+        // 10 hours at a 2-hour MTBF ≈ 5 faults; all recoverable.
+        assert!(
+            report.total_rollbacks() >= 1,
+            "expected at least one MTBF fault"
+        );
+        assert_eq!(report.unrecoverable_faults, 0);
+    }
+}

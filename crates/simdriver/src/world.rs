@@ -1,0 +1,335 @@
+//! The discrete-event world binding protocol engines to the network model.
+
+use crate::config::SimConfig;
+use crate::report::{ClusterStats, RunReport};
+use desim::{Ctx, EventKey, SimTime, Tracer, World};
+use hc3i_core::{Input, Msg, NodeEngine, Output};
+use netsim::{Network, NodeId};
+
+/// Events of the federation world.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// The workload issues an application send.
+    AppSend {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload size.
+        bytes: u64,
+        /// Workload tag.
+        tag: u64,
+    },
+    /// A message arrives at `to`.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A cluster's unforced-CLC timer fires.
+    ClcTimer {
+        /// The cluster.
+        cluster: usize,
+    },
+    /// The federation GC timer fires.
+    GcTimer,
+    /// A node fail-stops.
+    Fault {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// The failure detector reports.
+    Detect {
+        /// Cluster of the failed node.
+        cluster: usize,
+        /// Failed rank.
+        failed_rank: u32,
+    },
+    /// End of the simulated application.
+    End,
+}
+
+/// The federation: engines + network + statistics.
+pub struct FederationWorld {
+    pub(crate) cfg: SimConfig,
+    pub(crate) engines: Vec<Vec<NodeEngine>>,
+    pub(crate) net: Network,
+    pub(crate) clc_timer_keys: Vec<Option<EventKey>>,
+    pub(crate) stats: RunReport,
+    pub(crate) tracer: Tracer,
+}
+
+impl FederationWorld {
+    /// Build the world (engines initialized, nothing scheduled yet).
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.topology.num_clusters();
+        let engines = (0..n)
+            .map(|c| {
+                (0..cfg.topology.nodes_in(netsim::ClusterId(c as u16)))
+                    .map(|r| NodeEngine::new(cfg.protocol.clone(), NodeId::new(c as u16, r)))
+                    .collect()
+            })
+            .collect();
+        let net = Network::new(cfg.topology.clone()).with_contention(cfg.contention);
+        let stats = RunReport {
+            clusters: vec![ClusterStats::default(); n],
+            app_matrix: vec![vec![0; n]; n],
+            ..Default::default()
+        };
+        let tracer = Tracer::new(cfg.trace);
+        FederationWorld {
+            cfg,
+            engines,
+            net,
+            clc_timer_keys: vec![None; n],
+            stats,
+            tracer,
+        }
+    }
+
+    /// The trace collected so far (level per [`SimConfig::trace`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Access an engine (tests, report finalization).
+    pub fn engine(&self, id: NodeId) -> &NodeEngine {
+        &self.engines[id.cluster.index()][id.rank as usize]
+    }
+
+    fn handle_engine(&mut self, ctx: &mut Ctx<'_, Ev>, node: NodeId, input: Input) {
+        let outs = self.engines[node.cluster.index()][node.rank as usize]
+            .handle(ctx.now(), input);
+        self.absorb(ctx, node, outs);
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, outs: Vec<Output>) {
+        for out in outs {
+            match out {
+                Output::Send { to, msg } => {
+                    let bytes = msg.wire_bytes(&self.cfg.protocol);
+                    let class = msg.class();
+                    let arrival = self.net.send(ctx.now(), source, to, bytes, class);
+                    self.tracer.full(ctx.now(), "net", || {
+                        format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
+                    });
+                    ctx.schedule_at(
+                        arrival,
+                        Ev::Deliver {
+                            from: source,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                Output::DeliverApp { from, payload } => {
+                    self.stats.app_delivered += 1;
+                    self.tracer.full(ctx.now(), "app", || {
+                        format!("{source} delivered tag {} from {from}", payload.tag)
+                    });
+                }
+                Output::Committed { sn, forced } => {
+                    let cluster = source.cluster.index();
+                    self.tracer.protocol(ctx.now(), "clc", || {
+                        format!(
+                            "cluster {cluster} committed CLC {sn}{}",
+                            if forced { " (forced)" } else { "" }
+                        )
+                    });
+                    let c = &mut self.stats.clusters[cluster];
+                    if forced {
+                        c.forced_clcs += 1;
+                    } else {
+                        c.unforced_clcs += 1;
+                    }
+                }
+                Output::ResetClcTimer => {
+                    let cluster = source.cluster.index();
+                    if let Some(key) = self.clc_timer_keys[cluster].take() {
+                        ctx.cancel(key);
+                    }
+                    let delay = self.cfg.clc_delays[cluster];
+                    if !delay.is_infinite() {
+                        let key = ctx.schedule_in(delay, Ev::ClcTimer { cluster });
+                        self.clc_timer_keys[cluster] = Some(key);
+                    }
+                }
+                Output::RolledBack {
+                    restore_sn,
+                    discarded_clcs,
+                } => {
+                    if source.rank == 0 {
+                        self.tracer.protocol(ctx.now(), "rollback", || {
+                            format!(
+                                "cluster {} restored CLC {restore_sn} ({discarded_clcs} discarded)",
+                                source.cluster.index()
+                            )
+                        });
+                    }
+                    if source.rank == 0 {
+                        let cluster = source.cluster.index();
+                        let committed_at = self.engines[cluster][0]
+                            .store()
+                            .get(restore_sn)
+                            .map(|e| e.meta.committed_at)
+                            .unwrap_or(SimTime::ZERO);
+                        let stats = &mut self.stats.clusters[cluster];
+                        stats
+                            .rollbacks
+                            .push((ctx.now(), restore_sn, discarded_clcs));
+                        stats.work_lost.push(ctx.now().saturating_since(committed_at));
+                    }
+                }
+                Output::GcReport { before, after } => {
+                    self.tracer.protocol(ctx.now(), "gc", || {
+                        format!(
+                            "cluster {} pruned {before} -> {after} CLCs",
+                            source.cluster.index()
+                        )
+                    });
+                    self.stats.clusters[source.cluster.index()]
+                        .gc_before_after
+                        .push((before, after));
+                }
+                Output::Unrecoverable { .. } => {
+                    self.stats.unrecoverable_faults += 1;
+                }
+                Output::LateCrossing { .. } => {
+                    self.stats.late_crossings += 1;
+                }
+                Output::RestoreApp { .. } => {
+                    // Application state is abstract under the simulator.
+                }
+            }
+        }
+    }
+
+    /// Lowest surviving rank in a cluster (the detector's report target).
+    fn recovery_coordinator(&self, cluster: usize) -> Option<u32> {
+        self.engines[cluster]
+            .iter()
+            .position(|e| !e.is_failed())
+            .map(|r| r as u32)
+    }
+
+    /// Fill in the end-of-run fields of the report.
+    pub(crate) fn finalize(&mut self, now: SimTime, events: u64) -> RunReport {
+        let n = self.cfg.topology.num_clusters();
+        for c in 0..n {
+            let coord = &self.engines[c][0];
+            let stats = &mut self.stats.clusters[c];
+            stats.stored_clcs = coord.store().len();
+            stats.peak_stored_clcs = coord.store().peak();
+            stats.logged_messages = self.engines[c]
+                .iter()
+                .map(|e| e.log().len() as u64)
+                .sum();
+            stats.peak_logged_messages = self.engines[c]
+                .iter()
+                .map(|e| e.log().peak() as u64)
+                .sum();
+        }
+        for i in 0..n {
+            for j in 0..n {
+                self.stats.app_matrix[i][j] = self.net.app_messages(
+                    netsim::ClusterId(i as u16),
+                    netsim::ClusterId(j as u16),
+                );
+            }
+        }
+        self.stats.protocol_messages = self.net.total_by_class(netsim::MessageClass::Protocol);
+        self.stats.protocol_bytes =
+            self.net.total_bytes_by_class(netsim::MessageClass::Protocol);
+        self.stats.ack_messages = self.net.total_by_class(netsim::MessageClass::Ack);
+        self.stats.ack_bytes = self.net.total_bytes_by_class(netsim::MessageClass::Ack);
+        self.stats.app_bytes = self.net.total_bytes_by_class(netsim::MessageClass::App);
+        self.stats.events_processed = events;
+        self.stats.ended_at = now;
+        self.stats.clone()
+    }
+}
+
+impl World for FederationWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+        match event {
+            Ev::AppSend {
+                from,
+                to,
+                bytes,
+                tag,
+            } => {
+                self.stats.app_sent += 1;
+                self.handle_engine(
+                    ctx,
+                    from,
+                    Input::AppSend {
+                        to,
+                        payload: hc3i_core::AppPayload { bytes, tag },
+                    },
+                );
+            }
+            Ev::Deliver { from, to, msg } => {
+                self.handle_engine(ctx, to, Input::Receive { from, msg });
+            }
+            Ev::ClcTimer { cluster } => {
+                self.clc_timer_keys[cluster] = None;
+                let coord = NodeId::new(cluster as u16, 0);
+                self.handle_engine(ctx, coord, Input::ClcTimer);
+                // If no commit resets it (e.g. the reason merged into a
+                // running round), re-arm so periodic checkpointing survives.
+                if self.clc_timer_keys[cluster].is_none() {
+                    let delay = self.cfg.clc_delays[cluster];
+                    if !delay.is_infinite() {
+                        let key = ctx.schedule_in(delay, Ev::ClcTimer { cluster });
+                        self.clc_timer_keys[cluster] = Some(key);
+                    }
+                }
+            }
+            Ev::GcTimer => {
+                let initiator = NodeId::new(0, 0);
+                self.handle_engine(ctx, initiator, Input::GcTimer);
+                if let Some(interval) = self.cfg.gc_interval {
+                    ctx.schedule_in(interval, Ev::GcTimer);
+                }
+            }
+            Ev::Fault { node } => {
+                if self.engine(node).is_failed() {
+                    return;
+                }
+                self.handle_engine(ctx, node, Input::Fail);
+                ctx.schedule_in(
+                    self.cfg.detection_delay,
+                    Ev::Detect {
+                        cluster: node.cluster.index(),
+                        failed_rank: node.rank,
+                    },
+                );
+            }
+            Ev::Detect {
+                cluster,
+                failed_rank,
+            } => {
+                // Skip stale detections (the node was already revived by an
+                // earlier rollback).
+                if !self.engines[cluster][failed_rank as usize].is_failed() {
+                    return;
+                }
+                let Some(rank) = self.recovery_coordinator(cluster) else {
+                    self.stats.unrecoverable_faults += 1;
+                    return;
+                };
+                self.handle_engine(
+                    ctx,
+                    NodeId::new(cluster as u16, rank),
+                    Input::DetectFault { failed_rank },
+                );
+            }
+            Ev::End => ctx.stop(),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # storage — checkpoint storage substrate
+//!
+//! The pieces of durable (within the failure model) state the HC3I protocol
+//! manipulates:
+//!
+//! * [`SeqNum`] / [`Ddv`] — per-cluster sequence numbers and Direct
+//!   Dependency Vectors (paper §3.1–3.2);
+//! * [`ClcStore`] — the ordered store of committed cluster-level
+//!   checkpoints, with the rollback-target and GC-pruning queries;
+//! * [`MessageLog`] — the sender-side optimistic log of inter-cluster
+//!   messages with receiver-SN acknowledgements (paper §3.3);
+//! * [`ReplicationPolicy`] — in-cluster neighbour replication implementing
+//!   the paper's stable-storage assumption, generalized to a configurable
+//!   degree (paper §7 future work).
+
+#![warn(missing_docs)]
+
+pub mod clc_store;
+pub mod log_store;
+pub mod replication;
+pub mod stamp;
+
+pub use clc_store::{ClcEntry, ClcMeta, ClcStore};
+pub use log_store::{LogEntry, LogId, MessageLog};
+pub use replication::ReplicationPolicy;
+pub use stamp::{Ddv, SeqNum};

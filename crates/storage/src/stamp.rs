@@ -1,0 +1,205 @@
+//! Sequence numbers and Direct Dependency Vectors (DDV).
+//!
+//! Every cluster maintains a **sequence number (SN)** incremented at each
+//! committed cluster-level checkpoint (CLC), and a **DDV** with one entry
+//! per *cluster* of the federation (paper §3.2):
+//!
+//! * `DDV[self] = SN` of the own cluster,
+//! * `DDV[other] =` last SN received from `other` (0 if none).
+//!
+//! DDV entries are monotone over a cluster's CLC sequence, which is what
+//! makes the rollback rule ("oldest CLC whose entry for the faulty cluster
+//! is >= the alert SN") a simple scan.
+
+use std::fmt;
+
+/// A cluster-level checkpoint sequence number.
+///
+/// `SeqNum(0)` means "before any checkpoint" / "never heard from"; the
+/// initial CLC taken at application start commits as `SeqNum(1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The zero sequence number (no checkpoint committed / never heard).
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// The successor sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A Direct Dependency Vector: one [`SeqNum`] per cluster of the federation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ddv {
+    entries: Vec<SeqNum>,
+}
+
+impl Ddv {
+    /// All-zero DDV for a federation of `n` clusters.
+    pub fn zeros(n: usize) -> Self {
+        Ddv {
+            entries: vec![SeqNum::ZERO; n],
+        }
+    }
+
+    /// Build from explicit entries.
+    pub fn from_entries(entries: Vec<SeqNum>) -> Self {
+        Ddv { entries }
+    }
+
+    /// Number of clusters this DDV covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for a zero-cluster DDV (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for cluster `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> SeqNum {
+        self.entries[i]
+    }
+
+    /// Set entry for cluster `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, sn: SeqNum) {
+        self.entries[i] = sn;
+    }
+
+    /// Raise entry `i` to at least `sn`; returns `true` if it changed.
+    pub fn raise(&mut self, i: usize, sn: SeqNum) -> bool {
+        if sn > self.entries[i] {
+            self.entries[i] = sn;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Component-wise max merge (the FullDdv transitive variant, paper §7).
+    /// Returns `true` if any entry increased.
+    pub fn merge_max(&mut self, other: &Ddv) -> bool {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "DDV dimension mismatch"
+        );
+        let mut changed = false;
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            if theirs > mine {
+                *mine = *theirs;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Component-wise `<=` (is every dependency of `self` covered by
+    /// `other`?). Used by consistency checks.
+    pub fn dominated_by(&self, other: &Ddv) -> bool {
+        assert_eq!(self.entries.len(), other.entries.len());
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Iterate entries in cluster order.
+    pub fn iter(&self) -> impl Iterator<Item = SeqNum> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl fmt::Display for Ddv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqnum_next_and_display() {
+        assert_eq!(SeqNum::ZERO.next(), SeqNum(1));
+        assert_eq!(SeqNum(41).next().value(), 42);
+        assert_eq!(SeqNum(7).to_string(), "7");
+    }
+
+    #[test]
+    fn zeros_has_all_zero_entries() {
+        let d = Ddv::zeros(3);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|e| e == SeqNum::ZERO));
+    }
+
+    #[test]
+    fn raise_only_increases() {
+        let mut d = Ddv::zeros(2);
+        assert!(d.raise(1, SeqNum(5)));
+        assert!(!d.raise(1, SeqNum(5)), "equal value is not a raise");
+        assert!(!d.raise(1, SeqNum(3)), "lower value is not a raise");
+        assert_eq!(d.get(1), SeqNum(5));
+        assert_eq!(d.get(0), SeqNum::ZERO);
+    }
+
+    #[test]
+    fn merge_max_is_componentwise() {
+        let mut a = Ddv::from_entries(vec![SeqNum(1), SeqNum(5), SeqNum(0)]);
+        let b = Ddv::from_entries(vec![SeqNum(2), SeqNum(3), SeqNum(0)]);
+        assert!(a.merge_max(&b));
+        assert_eq!(a, Ddv::from_entries(vec![SeqNum(2), SeqNum(5), SeqNum(0)]));
+        // Merging something already dominated changes nothing.
+        assert!(!a.merge_max(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = Ddv::zeros(2);
+        a.merge_max(&Ddv::zeros(3));
+    }
+
+    #[test]
+    fn dominated_by_is_a_partial_order() {
+        let a = Ddv::from_entries(vec![SeqNum(1), SeqNum(2)]);
+        let b = Ddv::from_entries(vec![SeqNum(2), SeqNum(2)]);
+        let c = Ddv::from_entries(vec![SeqNum(0), SeqNum(9)]);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(!a.dominated_by(&c) && !c.dominated_by(&a), "incomparable pair");
+        assert!(a.dominated_by(&a), "reflexive");
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Ddv::from_entries(vec![SeqNum(1), SeqNum(0), SeqNum(3)]);
+        assert_eq!(d.to_string(), "[1 0 3]");
+    }
+}

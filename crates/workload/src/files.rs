@@ -1,0 +1,422 @@
+//! The simulator's three configuration files (paper §5.1).
+//!
+//! "The user has to provide three files: a topology file, an application
+//! file and a timer file." We keep that interface, with a simple
+//! line-oriented `keyword args…` format (`#` starts a comment):
+//!
+//! ```text
+//! # topology file
+//! clusters 2
+//! nodes 100 100
+//! intra 0 10us 80Mbps
+//! intra 1 10us 80Mbps
+//! inter 0 1 150us 100Mbps
+//! mtbf 100h
+//!
+//! # application file
+//! duration 10h
+//! payload 1024
+//! compute_mean 0 60s
+//! compute_mean 1 70s
+//! pattern 0 0.98 0.02
+//! pattern 1 0.005 0.995
+//!
+//! # timers file
+//! clc_timer 0 30m
+//! clc_timer 1 inf
+//! gc_timer 2h
+//! detection_delay 100ms
+//! ```
+
+use crate::duration::{parse_bandwidth, parse_duration};
+use crate::generate::StochasticWorkload;
+use desim::SimDuration;
+use netsim::{ClusterSpec, LinkSpec, Topology};
+
+/// Parsed timers file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSpec {
+    /// Delay between unforced CLCs, per cluster (`INFINITE` = never).
+    pub clc_delays: Vec<SimDuration>,
+    /// Garbage-collection period (`None` = never).
+    pub gc_interval: Option<SimDuration>,
+    /// Failure-detection latency.
+    pub detection_delay: SimDuration,
+}
+
+/// A parse failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            None
+        } else {
+            Some((i + 1, line.split_whitespace().collect()))
+        }
+    })
+}
+
+/// Parse a topology file into a [`Topology`].
+pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
+    let mut n_clusters: Option<usize> = None;
+    let mut nodes: Vec<u32> = vec![];
+    let mut intra: Vec<Option<LinkSpec>> = vec![];
+    let mut inter: Vec<(usize, usize, LinkSpec)> = vec![];
+    let mut default_inter = LinkSpec::ethernet_like();
+    let mut mtbf = None;
+
+    for (ln, tok) in content_lines(text) {
+        match tok[0] {
+            "clusters" => {
+                let n: usize = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "clusters needs a count"))?;
+                if n == 0 {
+                    return Err(err(ln, "need at least one cluster"));
+                }
+                n_clusters = Some(n);
+                intra = vec![None; n];
+            }
+            "nodes" => {
+                nodes = tok[1..]
+                    .iter()
+                    .map(|s| s.parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err(ln, "nodes must be integers"))?;
+            }
+            "intra" => {
+                let c: usize = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "intra needs: cluster latency bandwidth"))?;
+                let link = parse_link(&tok[2..]).ok_or_else(|| err(ln, "bad link spec"))?;
+                if c >= intra.len() {
+                    return Err(err(ln, "intra cluster index out of range"));
+                }
+                intra[c] = Some(link);
+            }
+            "inter" => {
+                if tok.len() == 3 {
+                    // `inter <latency> <bandwidth>`: default for all pairs.
+                    default_inter =
+                        parse_link(&tok[1..]).ok_or_else(|| err(ln, "bad link spec"))?;
+                } else {
+                    let a: usize = tok
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(ln, "inter needs: a b latency bandwidth"))?;
+                    let b: usize = tok
+                        .get(2)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(ln, "inter needs: a b latency bandwidth"))?;
+                    let link =
+                        parse_link(&tok[3..]).ok_or_else(|| err(ln, "bad link spec"))?;
+                    inter.push((a, b, link));
+                }
+            }
+            "mtbf" => {
+                let d = parse_duration(tok.get(1).copied().unwrap_or(""))
+                    .ok_or_else(|| err(ln, "bad mtbf duration"))?;
+                if !d.is_infinite() && d.nanos() > 0 {
+                    mtbf = Some(d);
+                }
+            }
+            other => return Err(err(ln, format!("unknown keyword `{other}`"))),
+        }
+    }
+
+    let n = n_clusters.ok_or_else(|| err(0, "missing `clusters`"))?;
+    if nodes.len() != n {
+        return Err(err(0, format!("expected {n} node counts, got {}", nodes.len())));
+    }
+    let clusters: Vec<ClusterSpec> = nodes
+        .iter()
+        .zip(&intra)
+        .map(|(&nn, l)| ClusterSpec {
+            nodes: nn,
+            intra: l.unwrap_or_else(LinkSpec::myrinet_like),
+        })
+        .collect();
+    let mut topo = Topology::new(clusters, default_inter);
+    for (a, b, link) in inter {
+        if a >= n || b >= n || a == b {
+            return Err(err(0, "inter pair out of range"));
+        }
+        topo.set_inter_link(
+            netsim::ClusterId(a as u16),
+            netsim::ClusterId(b as u16),
+            link,
+        );
+    }
+    topo.mtbf = mtbf;
+    Ok(topo)
+}
+
+fn parse_link(tok: &[&str]) -> Option<LinkSpec> {
+    if tok.len() != 2 {
+        return None;
+    }
+    Some(LinkSpec {
+        latency: parse_duration(tok[0])?,
+        bandwidth_bps: parse_bandwidth(tok[1])?,
+    })
+}
+
+/// Parse an application file into a [`StochasticWorkload`] (node counts
+/// come from the already-parsed topology).
+pub fn parse_application(
+    text: &str,
+    topology: &Topology,
+) -> Result<StochasticWorkload, ParseError> {
+    let n = topology.num_clusters();
+    let mut duration = None;
+    let mut payload = 1024u64;
+    let mut compute = vec![f64::NAN; n];
+    let mut pattern = vec![vec![f64::NAN; n]; n];
+
+    for (ln, tok) in content_lines(text) {
+        match tok[0] {
+            "duration" => {
+                duration = Some(
+                    parse_duration(tok.get(1).copied().unwrap_or(""))
+                        .ok_or_else(|| err(ln, "bad duration"))?,
+                );
+            }
+            "payload" => {
+                payload = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "payload needs bytes"))?;
+            }
+            "compute_mean" => {
+                let c: usize = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "compute_mean needs: cluster duration"))?;
+                if c >= n {
+                    return Err(err(ln, "cluster out of range"));
+                }
+                let d = parse_duration(tok.get(2).copied().unwrap_or(""))
+                    .ok_or_else(|| err(ln, "bad compute_mean duration"))?;
+                compute[c] = d.as_secs_f64();
+            }
+            "pattern" => {
+                let c: usize = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "pattern needs: cluster p0 p1 …"))?;
+                if c >= n {
+                    return Err(err(ln, "cluster out of range"));
+                }
+                if tok.len() != 2 + n {
+                    return Err(err(ln, format!("pattern row needs {n} probabilities")));
+                }
+                for (j, s) in tok[2..].iter().enumerate() {
+                    pattern[c][j] = s
+                        .parse()
+                        .map_err(|_| err(ln, "bad probability"))?;
+                }
+            }
+            other => return Err(err(ln, format!("unknown keyword `{other}`"))),
+        }
+    }
+
+    let workload = StochasticWorkload {
+        cluster_sizes: topology
+            .cluster_ids()
+            .map(|c| topology.nodes_in(c))
+            .collect(),
+        duration: duration.ok_or_else(|| err(0, "missing `duration`"))?,
+        compute_mean_secs: compute,
+        pattern,
+        payload_bytes: payload,
+    };
+    if workload.compute_mean_secs.iter().any(|m| m.is_nan()) {
+        return Err(err(0, "compute_mean missing for some cluster"));
+    }
+    if workload
+        .pattern
+        .iter()
+        .any(|row| row.iter().any(|p| p.is_nan()))
+    {
+        return Err(err(0, "pattern row missing for some cluster"));
+    }
+    workload
+        .validate()
+        .map_err(|m| err(0, m))?;
+    Ok(workload)
+}
+
+/// Parse a timers file.
+pub fn parse_timers(text: &str, num_clusters: usize) -> Result<TimerSpec, ParseError> {
+    let mut clc = vec![SimDuration::INFINITE; num_clusters];
+    let mut gc = None;
+    let mut detection = SimDuration::from_millis(100);
+
+    for (ln, tok) in content_lines(text) {
+        match tok[0] {
+            "clc_timer" => {
+                let c: usize = tok
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "clc_timer needs: cluster delay"))?;
+                if c >= num_clusters {
+                    return Err(err(ln, "cluster out of range"));
+                }
+                clc[c] = parse_duration(tok.get(2).copied().unwrap_or(""))
+                    .ok_or_else(|| err(ln, "bad delay"))?;
+            }
+            "gc_timer" => {
+                let d = parse_duration(tok.get(1).copied().unwrap_or(""))
+                    .ok_or_else(|| err(ln, "bad gc delay"))?;
+                if !d.is_infinite() {
+                    gc = Some(d);
+                }
+            }
+            "detection_delay" => {
+                detection = parse_duration(tok.get(1).copied().unwrap_or(""))
+                    .ok_or_else(|| err(ln, "bad detection delay"))?;
+            }
+            other => return Err(err(ln, format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(TimerSpec {
+        clc_delays: clc,
+        gc_interval: gc,
+        detection_delay: detection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ClusterId;
+
+    const TOPO: &str = "
+# the paper's reference federation
+clusters 2
+nodes 100 100
+intra 0 10us 80Mbps
+intra 1 10us 80Mbps
+inter 0 1 150us 100Mbps
+mtbf inf
+";
+
+    #[test]
+    fn topology_round_trip() {
+        let t = parse_topology(TOPO).unwrap();
+        assert_eq!(t.num_clusters(), 2);
+        assert_eq!(t.nodes_in(ClusterId(0)), 100);
+        assert_eq!(
+            t.link_between(ClusterId(0), ClusterId(1)).latency,
+            SimDuration::from_micros(150)
+        );
+        assert_eq!(
+            t.link_between(ClusterId(1), ClusterId(1)).bandwidth_bps,
+            80_000_000
+        );
+        assert!(t.mtbf.is_none());
+    }
+
+    #[test]
+    fn topology_defaults_apply() {
+        let t = parse_topology("clusters 3\nnodes 4 4 4\n").unwrap();
+        assert_eq!(
+            t.link_between(ClusterId(0), ClusterId(0)).latency,
+            SimDuration::from_micros(10),
+            "intra defaults to Myrinet-like"
+        );
+        assert_eq!(
+            t.link_between(ClusterId(0), ClusterId(2)).latency,
+            SimDuration::from_micros(150),
+            "inter defaults to Ethernet-like"
+        );
+    }
+
+    #[test]
+    fn topology_errors_carry_line_numbers() {
+        let e = parse_topology("clusters 2\nnodes 4 4\nintra 5 10us 80Mbps\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_topology("banana 1\n").unwrap_err();
+        assert!(e.message.contains("banana"));
+        assert!(parse_topology("nodes 4\n").is_err(), "missing clusters");
+        assert!(parse_topology("clusters 2\nnodes 4\n").is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn application_round_trip() {
+        let topo = parse_topology(TOPO).unwrap();
+        let app = parse_application(
+            "duration 10h\npayload 2048\ncompute_mean 0 60s\ncompute_mean 1 70s\n\
+             pattern 0 0.98 0.02\npattern 1 0.005 0.995\n",
+            &topo,
+        )
+        .unwrap();
+        assert_eq!(app.duration, SimDuration::from_hours(10));
+        assert_eq!(app.payload_bytes, 2048);
+        assert_eq!(app.compute_mean_secs, vec![60.0, 70.0]);
+        assert_eq!(app.pattern[1], vec![0.005, 0.995]);
+    }
+
+    #[test]
+    fn application_validates_rows() {
+        let topo = parse_topology(TOPO).unwrap();
+        let e = parse_application(
+            "duration 1h\ncompute_mean 0 1s\ncompute_mean 1 1s\npattern 0 0.5 0.2\npattern 1 0 1\n",
+            &topo,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("sums"));
+        assert!(parse_application("duration 1h\n", &topo).is_err(), "missing rows");
+    }
+
+    #[test]
+    fn timers_round_trip() {
+        let spec = parse_timers(
+            "clc_timer 0 30m\nclc_timer 1 inf\ngc_timer 2h\ndetection_delay 50ms\n",
+            2,
+        )
+        .unwrap();
+        assert_eq!(spec.clc_delays[0], SimDuration::from_minutes(30));
+        assert!(spec.clc_delays[1].is_infinite());
+        assert_eq!(spec.gc_interval, Some(SimDuration::from_hours(2)));
+        assert_eq!(spec.detection_delay, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn timers_default_to_never() {
+        let spec = parse_timers("", 3).unwrap();
+        assert!(spec.clc_delays.iter().all(|d| d.is_infinite()));
+        assert_eq!(spec.gc_interval, None);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_topology("# hi\n\nclusters 1 # trailing\nnodes 2\n").unwrap();
+        assert_eq!(t.num_clusters(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # workload — application model and configuration files
+//!
+//! Reproduces the paper's simulator interface (§5.1): the user provides a
+//! *topology file*, an *application file* and a *timers file*; the
+//! application model alternates exponentially-distributed computation with
+//! probabilistic message destinations. A second generator pins exact
+//! per-cluster-pair message counts (what Table 1 reports and Figure 9
+//! sweeps).
+
+#![warn(missing_docs)]
+
+pub mod duration;
+pub mod files;
+pub mod generate;
+pub mod presets;
+
+pub use duration::{parse_bandwidth, parse_duration};
+pub use files::{parse_application, parse_timers, parse_topology, ParseError, TimerSpec};
+pub use generate::{SendEvent, StochasticWorkload, TargetCountWorkload, Workload};

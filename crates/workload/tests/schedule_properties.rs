@@ -1,0 +1,96 @@
+//! Property tests for the traffic generators.
+
+use desim::{RngStreams, SimDuration, SimTime};
+use proptest::prelude::*;
+use workload::{StochasticWorkload, TargetCountWorkload, Workload};
+
+fn counts_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..120, n), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn target_counts_always_exact(
+        counts in counts_strategy(3),
+        sizes in prop::collection::vec(2u32..10, 3),
+        seed in any::<u64>(),
+    ) {
+        let w = TargetCountWorkload {
+            cluster_sizes: sizes,
+            duration: SimDuration::from_hours(1),
+            counts: counts.clone(),
+            payload_bytes: 100,
+        };
+        let schedule = w.schedule(&RngStreams::new(seed));
+        for i in 0..3u16 {
+            for j in 0..3u16 {
+                let got = schedule
+                    .iter()
+                    .filter(|e| e.from.cluster.0 == i && e.to.cluster.0 == j)
+                    .count() as u64;
+                prop_assert_eq!(got, counts[i as usize][j as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_sorted_in_range_no_self_sends(
+        counts in counts_strategy(2),
+        seed in any::<u64>(),
+    ) {
+        let w = TargetCountWorkload {
+            cluster_sizes: vec![3, 3],
+            duration: SimDuration::from_minutes(30),
+            counts,
+            payload_bytes: 64,
+        };
+        let schedule = w.schedule(&RngStreams::new(seed));
+        let horizon = SimTime::ZERO + w.duration;
+        prop_assert!(schedule.windows(2).all(|p| p[0].at <= p[1].at));
+        prop_assert!(schedule.iter().all(|e| e.at < horizon));
+        prop_assert!(schedule.iter().all(|e| e.from != e.to));
+        prop_assert!(schedule
+            .iter()
+            .all(|e| e.from.rank < 3 && e.to.rank < 3));
+    }
+
+    #[test]
+    fn stochastic_never_targets_zero_probability_clusters(
+        seed in any::<u64>(),
+        cross in 0.0f64..0.2,
+    ) {
+        // Cluster 2 receives nothing under this pattern.
+        let w = StochasticWorkload {
+            cluster_sizes: vec![4, 4, 4],
+            duration: SimDuration::from_minutes(60),
+            compute_mean_secs: vec![5.0, 5.0, 5.0],
+            pattern: vec![
+                vec![1.0 - cross, cross, 0.0],
+                vec![cross, 1.0 - cross, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            payload_bytes: 32,
+        };
+        w.validate().unwrap();
+        let schedule = w.schedule(&RngStreams::new(seed));
+        prop_assert!(schedule
+            .iter()
+            .all(|e| !(e.to.cluster.0 == 2 && e.from.cluster.0 != 2)));
+    }
+
+    #[test]
+    fn stochastic_is_seed_deterministic(seed in any::<u64>()) {
+        let w = StochasticWorkload {
+            cluster_sizes: vec![3, 3],
+            duration: SimDuration::from_minutes(20),
+            compute_mean_secs: vec![7.0, 9.0],
+            pattern: vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+            payload_bytes: 128,
+        };
+        let a = w.schedule(&RngStreams::new(seed));
+        let b = w.schedule(&RngStreams::new(seed));
+        prop_assert_eq!(a, b);
+    }
+}

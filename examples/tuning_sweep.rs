@@ -1,0 +1,45 @@
+//! Protocol tuning: sweep the unforced-CLC timer and plot the trade-off.
+//!
+//! "The protocol can be tuned according to the underlying network, the
+//! application communication patterns and needs" (paper §7). This example
+//! sweeps cluster 0's checkpoint timer on the reference workload and
+//! prints an ASCII view of Figure 6's trade-off: frequent checkpoints cost
+//! protocol traffic; rare checkpoints cost recovery time.
+//!
+//! ```text
+//! cargo run --release --example tuning_sweep
+//! ```
+
+use hc3i::prelude::*;
+
+fn main() {
+    let duration = SimDuration::from_hours(10);
+    let delays_min = [5u64, 10, 20, 30, 45, 60, 90, 120];
+
+    println!("== CLC timer sweep, paper reference workload (10 h) ==\n");
+    println!("timer  unforced  forced  total  proto_msgs   bar");
+
+    for &d in &delays_min {
+        let sends = TargetCountWorkload::paper_table1().schedule(&RngStreams::new(1));
+        let report = simdriver::run(
+            SimConfig::new(Topology::paper_reference(2), duration)
+                .with_clc_delay(0, SimDuration::from_minutes(d))
+                .with_sends(sends),
+        );
+        let c0 = &report.clusters[0];
+        let total = c0.total_clcs();
+        let bar = "#".repeat((total as usize).min(70));
+        println!(
+            "{:>4}m  {:>8}  {:>6}  {:>5}  {:>10}   {bar}",
+            d, c0.unforced_clcs, c0.forced_clcs, total, report.protocol_messages
+        );
+        assert_eq!(report.late_crossings, 0);
+    }
+
+    println!(
+        "\nreading: the forced component is constant (driven by the {} reverse\n\
+         messages), while the unforced component falls off hyperbolically —\n\
+         exactly the shape of the paper's Figure 6.",
+        11
+    );
+}

@@ -1,0 +1,266 @@
+//! End-to-end regression tests of the paper's evaluation shapes.
+//!
+//! These run the same full-fidelity experiments the bench binaries
+//! regenerate, at the paper's scale (2–3 clusters × 100 nodes, 10 simulated
+//! hours — tens of milliseconds of wall time each), and pin the qualitative
+//! findings of §5.
+
+use desim::{RngStreams, SimDuration, SimTime};
+use hc3i::prelude::*;
+use netsim::NodeId;
+
+const SEED: u64 = 20040426;
+
+fn reference_run(
+    c0_delay_min: Option<u64>,
+    c1_delay_min: Option<u64>,
+    reverse_msgs: u64,
+    gc_hours: Option<u64>,
+) -> RunReport {
+    let w = TargetCountWorkload::paper_with_reverse_count(reverse_msgs);
+    let sends = w.schedule(&RngStreams::new(SEED));
+    let mut cfg = SimConfig::new(Topology::paper_reference(2), w.duration)
+        .with_sends(sends)
+        .with_seed(SEED);
+    if let Some(d) = c0_delay_min {
+        cfg = cfg.with_clc_delay(0, SimDuration::from_minutes(d));
+    }
+    if let Some(d) = c1_delay_min {
+        cfg = cfg.with_clc_delay(1, SimDuration::from_minutes(d));
+    }
+    if let Some(h) = gc_hours {
+        cfg = cfg.with_gc_interval(SimDuration::from_hours(h));
+    }
+    simdriver::run(cfg)
+}
+
+#[test]
+fn table1_message_counts_are_exact() {
+    let r = reference_run(Some(30), None, 11, None);
+    assert_eq!(r.app_matrix[0][0], 2920);
+    assert_eq!(r.app_matrix[1][1], 2497);
+    assert_eq!(r.app_matrix[0][1], 145);
+    assert_eq!(r.app_matrix[1][0], 11);
+    assert_eq!(r.app_delivered, r.app_sent);
+    assert_eq!(r.late_crossings, 0);
+}
+
+#[test]
+fn figure6_unforced_falls_with_timer_forced_constant() {
+    // Paper: "Cluster 0 stores some forced CLCs (8) because of the
+    // communications from cluster 1. This number of forced CLCs is
+    // constant."
+    let delays = [10u64, 30, 60, 120];
+    let runs: Vec<RunReport> = delays
+        .iter()
+        .map(|&d| reference_run(Some(d), None, 11, None))
+        .collect();
+    // Unforced strictly decreases along the sweep.
+    for w in runs.windows(2) {
+        assert!(
+            w[0].clusters[0].unforced_clcs > w[1].clusters[0].unforced_clcs,
+            "unforced must fall as the timer grows"
+        );
+    }
+    // Forced stays constant (bounded by the 11 reverse messages).
+    let forced: Vec<u64> = runs.iter().map(|r| r.clusters[0].forced_clcs).collect();
+    assert!(forced.windows(2).all(|w| w[0] == w[1]), "forced {forced:?}");
+    assert!(forced[0] <= 11);
+}
+
+#[test]
+fn figure7_cluster1_takes_only_forced_clcs() {
+    // Cluster 1's timer is infinite: all of its CLCs are forced by the
+    // incoming 0→1 traffic, roughly tracking cluster 0's CLC count.
+    let fast = reference_run(Some(10), None, 11, None);
+    let slow = reference_run(Some(60), None, 11, None);
+    for r in [&fast, &slow] {
+        assert_eq!(r.clusters[1].unforced_clcs, 0);
+        assert!(r.clusters[1].forced_clcs > 0);
+    }
+    assert!(
+        fast.clusters[1].forced_clcs > slow.clusters[1].forced_clcs,
+        "more cluster-0 CLCs -> more forced CLCs in cluster 1"
+    );
+    // Proportionality: forced in cluster 1 never exceeds cluster 0's total
+    // (each forced CLC needs a fresh cluster-0 SN).
+    for r in [&fast, &slow] {
+        assert!(r.clusters[1].forced_clcs <= r.clusters[0].total_clcs() + 1);
+    }
+}
+
+#[test]
+fn figure8_cluster0_unaffected_by_cluster1_timer() {
+    // Paper: "cluster 0 … do not store more CLCs even if cluster 1 timer
+    // is set to 15 minutes … thanks to the low number of messages from
+    // cluster 1 to cluster 0."
+    let slow = reference_run(Some(30), Some(60), 11, None);
+    let fast = reference_run(Some(30), Some(15), 11, None);
+    let diff = (slow.clusters[0].total_clcs() as i64
+        - fast.clusters[0].total_clcs() as i64)
+        .abs();
+    assert!(diff <= 1, "cluster 0 CLC count moved by {diff}");
+    assert!(
+        fast.clusters[1].total_clcs() > slow.clusters[1].total_clcs(),
+        "cluster 1 itself does checkpoint more often"
+    );
+}
+
+#[test]
+fn figure9_forced_clcs_grow_with_reverse_traffic() {
+    let counts = [10u64, 50, 110];
+    let forced: Vec<u64> = counts
+        .iter()
+        .map(|&rev| reference_run(Some(30), Some(30), rev, None).clusters[0].forced_clcs)
+        .collect();
+    assert!(
+        forced[0] < forced[1] && forced[1] < forced[2],
+        "forced CLCs must grow with reverse traffic: {forced:?}"
+    );
+    // At 110 reverse messages, most CLCs in cluster 0 are forced (the
+    // paper's "most of the messages will induce a forced CLC").
+    let r = reference_run(Some(30), Some(30), 110, None);
+    assert!(r.clusters[0].forced_clcs * 10 >= r.clusters[0].total_clcs() * 8);
+}
+
+#[test]
+fn table2_gc_collapses_stored_clcs() {
+    let r = reference_run(Some(30), Some(30), 103, Some(2));
+    for (c, stats) in r.clusters.iter().enumerate() {
+        assert!(
+            stats.gc_before_after.len() >= 4,
+            "cluster {c}: expected >= 4 collections in 10 h"
+        );
+        for &(before, after) in &stats.gc_before_after {
+            assert!(after <= 3, "cluster {c}: after-GC count {after} (paper: 2)");
+            assert!(before >= after);
+        }
+    }
+}
+
+#[test]
+fn table3_three_clusters_gc() {
+    let w = workload::presets::paper_three_clusters();
+    let sends = w.schedule(&RngStreams::new(SEED));
+    let mut cfg = SimConfig::new(Topology::paper_reference(3), w.duration)
+        .with_sends(sends)
+        .with_seed(SEED)
+        .with_gc_interval(SimDuration::from_hours(2))
+        .with_protocol(ProtocolConfig::new(vec![100, 100, 100]));
+    for c in 0..3 {
+        cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(30));
+    }
+    let r = simdriver::run(cfg);
+    for stats in &r.clusters {
+        for &(_, after) in &stats.gc_before_after {
+            assert!(after <= 4, "after-GC count {after} (paper: 2)");
+        }
+    }
+    assert_eq!(r.late_crossings, 0);
+}
+
+#[test]
+fn single_fault_recovers_within_one_period() {
+    // A fault mid-run: the cluster restores its newest CLC and the work
+    // lost stays below one checkpoint period.
+    let w = TargetCountWorkload::paper_table1();
+    let sends = w.schedule(&RngStreams::new(SEED));
+    let cfg = SimConfig::new(Topology::paper_reference(2), w.duration)
+        .with_sends(sends)
+        .with_clc_delay(0, SimDuration::from_minutes(30))
+        .with_clc_delay(1, SimDuration::from_minutes(30))
+        .with_fault(
+            SimTime::ZERO + SimDuration::from_minutes(4 * 60 + 13),
+            NodeId::new(0, 42),
+        );
+    let r = simdriver::run(cfg);
+    assert!(!r.clusters[0].rollbacks.is_empty());
+    assert!(
+        r.clusters[0].work_lost[0] <= SimDuration::from_minutes(31),
+        "lost {} > one checkpoint period",
+        r.clusters[0].work_lost[0]
+    );
+    assert_eq!(r.unrecoverable_faults, 0);
+    assert_eq!(r.late_crossings, 0);
+}
+
+#[test]
+fn fault_storm_stays_consistent() {
+    // One fault every simulated hour, alternating clusters, heavy-ish
+    // cross traffic: the run must stay consistent and every fault must be
+    // recoverable.
+    let w = TargetCountWorkload::paper_with_reverse_count(103);
+    let sends = w.schedule(&RngStreams::new(SEED));
+    let mut cfg = SimConfig::new(Topology::paper_reference(2), w.duration)
+        .with_sends(sends)
+        .with_clc_delay(0, SimDuration::from_minutes(30))
+        .with_clc_delay(1, SimDuration::from_minutes(30))
+        .with_gc_interval(SimDuration::from_hours(2));
+    for h in 1..10u64 {
+        cfg = cfg.with_fault(
+            SimTime::ZERO + SimDuration::from_minutes(h * 60 + 11),
+            NodeId::new((h % 2) as u16, (h * 13 % 100) as u32),
+        );
+    }
+    let r = simdriver::run(cfg);
+    assert_eq!(r.unrecoverable_faults, 0);
+    assert_eq!(r.late_crossings, 0);
+    assert!(r.total_rollbacks() >= 9, "every fault triggered recovery");
+    // The protocol kept making progress: checkpoints continued to the end.
+    assert!(r.clusters[0].total_clcs() >= 15);
+}
+
+#[test]
+fn full_ddv_reduces_forced_clcs_on_ring() {
+    // The §7 transitivity extension on a 3-cluster ring with second-hop
+    // traffic: strictly fewer (or equal) forced CLCs.
+    let counts = vec![
+        vec![300, 40, 15],
+        vec![15, 300, 40],
+        vec![40, 15, 300],
+    ];
+    let w = TargetCountWorkload {
+        cluster_sizes: vec![50, 50, 50],
+        duration: SimDuration::from_hours(10),
+        counts,
+        payload_bytes: 1024,
+    };
+    let sends = w.schedule(&RngStreams::new(SEED));
+    let run_mode = |mode| {
+        let mut cfg = SimConfig::new(
+            netsim::Topology::new(
+                vec![
+                    netsim::ClusterSpec {
+                        nodes: 50,
+                        intra: netsim::LinkSpec::myrinet_like(),
+                    };
+                    3
+                ],
+                netsim::LinkSpec::ethernet_like(),
+            ),
+            w.duration,
+        )
+        .with_sends(sends.clone())
+        .with_protocol(ProtocolConfig::new(vec![50, 50, 50]).with_piggyback(mode));
+        for c in 0..3 {
+            cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(30));
+        }
+        simdriver::run(cfg)
+    };
+    let sn_only = run_mode(PiggybackMode::SnOnly);
+    let full = run_mode(PiggybackMode::FullDdv);
+    let f_sn: u64 = sn_only.clusters.iter().map(|c| c.forced_clcs).sum();
+    let f_ddv: u64 = full.clusters.iter().map(|c| c.forced_clcs).sum();
+    assert!(f_ddv <= f_sn, "transitivity must not force more: {f_ddv} vs {f_sn}");
+    assert_eq!(full.app_delivered, full.app_sent);
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let a = reference_run(Some(30), Some(30), 103, Some(2));
+    let b = reference_run(Some(30), Some(30), 103, Some(2));
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.protocol_messages, b.protocol_messages);
+    assert_eq!(a.clusters[0].total_clcs(), b.clusters[0].total_clcs());
+    assert_eq!(a.clusters[1].gc_before_after, b.clusters[1].gc_before_after);
+}
