@@ -260,7 +260,7 @@ mod tests {
                     tag: 40 + k,
                 },
             )],
-            app_state: (k % 2 == 0).then(|| vec![1, 2, 3, k as u8]),
+            app_state: k.is_multiple_of(2).then(|| vec![1, 2, 3, k as u8]),
         }
     }
 
@@ -275,7 +275,7 @@ mod tests {
                     sn: SeqNum(k),
                     ddv,
                     committed_at: SimTime(k * 1_000_000),
-                    forced: k % 2 == 0,
+                    forced: k.is_multiple_of(2),
                 },
                 sample_checkpoint(k),
             );

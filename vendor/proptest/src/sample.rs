@@ -1,0 +1,18 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is unknown at generation time:
+/// generate one with `any::<Index>()`, then project with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    pub(crate) fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Map this sample onto `0..len`. Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.0 % len
+    }
+}
