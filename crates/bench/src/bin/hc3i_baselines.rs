@@ -1,0 +1,395 @@
+//! Bench-baseline capture (ROADMAP open item).
+//!
+//! Times the reference workloads that every perf PR must not regress and
+//! writes them as machine-readable JSON plus a human-readable Markdown
+//! summary:
+//!
+//! ```text
+//! cargo run --release -p hc3i-bench --bin hc3i_baselines -- \
+//!     [--quick] [--json PATH] [--md PATH] [--compare OLD.json] \
+//!     [--fingerprint PATH] [--seed N]
+//! ```
+//!
+//! * `--quick` trims every sweep for CI (seconds instead of minutes).
+//! * `--json` / `--md` write `bench/BASELINES.json` / `bench/BASELINES.md`
+//!   style artifacts.
+//! * `--compare OLD.json` embeds the old wall times and per-entry speedups
+//!   into the new artifacts (before/after for a perf PR).
+//! * `--fingerprint PATH` additionally dumps the full `RunReport` debug
+//!   output of several seeded runs — byte-identical across code changes
+//!   that preserve the determinism contract (same seed ⇒ bit-identical
+//!   reports).
+
+use desim::{RngStreams, SimDuration, SimTime};
+use hc3i_bench::experiments;
+use hc3i_core::{PiggybackMode, ProtocolConfig};
+use netsim::{ClusterSpec, LinkSpec, NodeId, Topology};
+use simdriver::{RunReport, SimConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workload::{TargetCountWorkload, Workload};
+
+/// One timed baseline entry.
+struct Entry {
+    name: &'static str,
+    /// What the entry measures (goes into the Markdown table).
+    what: &'static str,
+    /// Best-of-N wall time, milliseconds.
+    wall_ms: f64,
+    /// Simulator events dispatched by one run (0 when not applicable).
+    events: u64,
+    /// Events per second of wall time (0 when not applicable).
+    events_per_sec: f64,
+}
+
+fn time_run<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn entry(name: &'static str, what: &'static str, reps: usize, f: impl FnMut() -> u64) -> Entry {
+    let (wall_ms, events) = time_run(reps, f);
+    let events_per_sec = if events > 0 {
+        events as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    Entry {
+        name,
+        what,
+        wall_ms,
+        events,
+        events_per_sec,
+    }
+}
+
+/// The reference event-loop workload: 2 clusters x 100 nodes, 10 simulated
+/// hours, 103 reverse messages, 30-minute timers, GC every 2 h (~230k
+/// events through `FederationWorld::handle`).
+fn reference_config(seed: u64, piggyback: PiggybackMode) -> SimConfig {
+    let w = TargetCountWorkload::paper_with_reverse_count(103);
+    let sends = w.schedule(&RngStreams::new(seed));
+    SimConfig::new(Topology::paper_reference(2), w.duration)
+        .with_sends(sends)
+        .with_seed(seed)
+        .with_protocol(ProtocolConfig::new(vec![100, 100]).with_piggyback(piggyback))
+        .with_clc_delay(0, SimDuration::from_minutes(30))
+        .with_clc_delay(1, SimDuration::from_minutes(30))
+        .with_gc_interval(SimDuration::from_hours(2))
+}
+
+/// A wide-federation ring: `n` clusters, small clusters, cross traffic to
+/// the next cluster over, 30-minute timers.
+fn ring_config(n: usize, nodes: u32, hours: u64, seed: u64) -> SimConfig {
+    let mut counts = vec![vec![0u64; n]; n];
+    for (i, row) in counts.iter_mut().enumerate() {
+        row[i] = 120;
+        row[(i + 1) % n] = 30;
+    }
+    let w = TargetCountWorkload {
+        cluster_sizes: vec![nodes; n],
+        duration: SimDuration::from_hours(hours),
+        counts,
+        payload_bytes: 1024,
+    };
+    let sends = w.schedule(&RngStreams::new(seed));
+    let mut cfg = SimConfig::new(
+        Topology::new(
+            vec![
+                ClusterSpec {
+                    nodes,
+                    intra: LinkSpec::myrinet_like(),
+                };
+                n
+            ],
+            LinkSpec::ethernet_like(),
+        ),
+        w.duration,
+    )
+    .with_sends(sends)
+    .with_seed(seed)
+    .with_protocol(ProtocolConfig::new(vec![nodes; n]));
+    for c in 0..n {
+        cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(30));
+    }
+    cfg
+}
+
+fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
+    let reps = if quick { 1 } else { 3 };
+    let mut entries = Vec::new();
+
+    eprintln!("timing event_loop_reference…");
+    entries.push(entry(
+        "event_loop_reference",
+        "2x100 nodes, 10 h, 103 reverse msgs, GC 2 h (~75k events)",
+        reps,
+        || simdriver::run(reference_config(seed, PiggybackMode::SnOnly)).events_processed,
+    ));
+
+    eprintln!("timing event_loop_full_ddv…");
+    entries.push(entry(
+        "event_loop_full_ddv",
+        "same reference workload under FullDdv piggybacking",
+        reps,
+        || simdriver::run(reference_config(seed, PiggybackMode::FullDdv)).events_processed,
+    ));
+
+    eprintln!("timing figure_regen_table1…");
+    entries.push(entry(
+        "figure_regen_table1",
+        "Table 1 regeneration (one reference run)",
+        reps,
+        || experiments::table1(seed).events_processed,
+    ));
+
+    let fig6_axis: &[u64] = if quick { &[30] } else { &[10, 30, 60, 120] };
+    eprintln!("timing figure_regen_figure6 ({} points)…", fig6_axis.len());
+    entries.push(entry(
+        "figure_regen_figure6",
+        "Figure 6/7 regeneration (timer sweep)",
+        1,
+        || {
+            experiments::figure6_7(fig6_axis, seed);
+            0
+        },
+    ));
+
+    let scaling_axis: &[usize] = if quick { &[2, 4, 8] } else { &[2, 3, 4, 6, 8, 12] };
+    eprintln!("timing scaling_ring ({} points)…", scaling_axis.len());
+    entries.push(entry(
+        "scaling_ring",
+        "federation-scaling sweep (ring traffic, 20-node clusters)",
+        1,
+        || {
+            experiments::federation_scaling(scaling_axis, seed)
+                .iter()
+                .map(|r| r.events)
+                .sum()
+        },
+    ));
+
+    // North-star smoke: a 100-cluster federation runs to completion.
+    let wide = if quick { (32usize, 1u64) } else { (100, 2) };
+    eprintln!("timing scaling_wide ({} clusters)…", wide.0);
+    entries.push(entry(
+        if quick {
+            "scaling_32_clusters"
+        } else {
+            "scaling_100_clusters"
+        },
+        "wide-federation ring (4-node clusters) to completion",
+        1,
+        || simdriver::run(ring_config(wide.0, 4, wide.1, seed)).events_processed,
+    ));
+
+    entries
+}
+
+// ---- artifact writers ------------------------------------------------------
+
+fn json(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f64)]>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    let _ = writeln!(s, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let before = old.and_then(|o| {
+            o.iter()
+                .find(|(n, _)| n == e.name)
+                .map(|&(_, ms)| ms)
+        });
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"name\": \"{}\", \"wall_ms\": {:.2}, \"events\": {}, \"events_per_sec\": {:.0}",
+            e.name, e.wall_ms, e.events, e.events_per_sec
+        );
+        if let Some(b) = before {
+            let _ = write!(
+                s,
+                ", \"before_wall_ms\": {:.2}, \"speedup\": {:.2}",
+                b,
+                b / e.wall_ms
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f64)]>) -> String {
+    let mut s = String::new();
+    s.push_str("# Bench baselines\n\n");
+    let _ = writeln!(
+        s,
+        "Recorded by `cargo run --release -p hc3i-bench --bin hc3i_baselines`\n\
+         (mode: {}, seed: {seed}, best-of-N wall times on the reference\n\
+         machine that produced `BASELINES.json`). Rerun with `--compare\n\
+         BASELINES.json` after a perf change to get before/after columns.\n",
+        if quick { "quick" } else { "full" }
+    );
+    if old.is_some() {
+        s.push_str(
+            "| entry | what | before (ms) | after (ms) | speedup | events | events/s |\n\
+             |---|---|---:|---:|---:|---:|---:|\n",
+        );
+    } else {
+        s.push_str(
+            "| entry | what | wall (ms) | events | events/s |\n\
+             |---|---|---:|---:|---:|\n",
+        );
+    }
+    for e in entries {
+        let before = old.and_then(|o| {
+            o.iter()
+                .find(|(n, _)| n == e.name)
+                .map(|&(_, ms)| ms)
+        });
+        match before {
+            Some(b) => {
+                let _ = writeln!(
+                    s,
+                    "| `{}` | {} | {:.1} | {:.1} | {:.2}x | {} | {:.0} |",
+                    e.name,
+                    e.what,
+                    b,
+                    e.wall_ms,
+                    b / e.wall_ms,
+                    e.events,
+                    e.events_per_sec
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "| `{}` | {} | {:.1} | {} | {:.0} |",
+                    e.name, e.what, e.wall_ms, e.events, e.events_per_sec
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Extract `(name, wall_ms)` pairs from a previous `BASELINES.json` (the
+/// flat line-per-entry format written by this binary; no external JSON
+/// dependency in the offline workspace).
+fn parse_old(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(ms_at) = line.find("\"wall_ms\": ") else {
+            continue;
+        };
+        let ms_str: String = line[ms_at + 11..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(ms) = ms_str.parse::<f64>() {
+            out.push((name, ms));
+        }
+    }
+    out
+}
+
+// ---- determinism fingerprint ----------------------------------------------
+
+/// Debug-dump a set of seeded reference runs. Any code change that
+/// preserves the determinism contract must reproduce this file
+/// byte-for-byte.
+fn fingerprint() -> String {
+    let mut s = String::new();
+    for seed in [20040426u64, 7, 424242] {
+        let r = simdriver::run(reference_config(seed, PiggybackMode::SnOnly));
+        let _ = writeln!(s, "reference sn_only seed={seed}\n{r:#?}\n");
+        let r = simdriver::run(reference_config(seed, PiggybackMode::FullDdv));
+        let _ = writeln!(s, "reference full_ddv seed={seed}\n{r:#?}\n");
+    }
+    // Faulty run: rollback + alert + replay paths.
+    let mut cfg = reference_config(20040426, PiggybackMode::SnOnly);
+    for h in 1..8u64 {
+        cfg = cfg.with_fault(
+            SimTime::ZERO + SimDuration::from_minutes(h * 60 + 11),
+            NodeId::new((h % 2) as u16, (h * 13 % 100) as u32),
+        );
+    }
+    let r: RunReport = simdriver::run(cfg);
+    let _ = writeln!(s, "reference faulty seed=20040426\n{r:#?}\n");
+    // Wide ring: many clusters, forced-CLC heavy.
+    let r = simdriver::run(ring_config(12, 4, 2, 20040426));
+    let _ = writeln!(s, "ring 12x4 seed=20040426\n{r:#?}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json_path = None;
+    let mut md_path = None;
+    let mut compare_path = None;
+    let mut fingerprint_path = None;
+    let mut seed = experiments::DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = it.next().cloned(),
+            "--md" => md_path = it.next().cloned(),
+            "--compare" => compare_path = it.next().cloned(),
+            "--fingerprint" => fingerprint_path = it.next().cloned(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = fingerprint_path {
+        eprintln!("writing determinism fingerprint to {path}…");
+        std::fs::write(&path, fingerprint()).expect("write fingerprint");
+    }
+
+    let old_pairs = compare_path.map(|p| {
+        let text = std::fs::read_to_string(&p).expect("read --compare file");
+        parse_old(&text)
+    });
+    let old = old_pairs.as_deref();
+
+    let entries = run_suite(quick, seed);
+    let json_text = json(&entries, quick, seed, old);
+    let md_text = markdown(&entries, quick, seed, old);
+    print!("{md_text}");
+    if let Some(p) = json_path {
+        std::fs::write(&p, &json_text).expect("write json");
+        eprintln!("wrote {p}");
+    }
+    if let Some(p) = md_path {
+        std::fs::write(&p, &md_text).expect("write md");
+        eprintln!("wrote {p}");
+    }
+}

@@ -6,13 +6,16 @@
 //! ```text
 //! hc3i-sim run --topology topo.conf --application app.conf --timers timers.conf
 //!          [--seed N] [--fault MINUTES:CLUSTER:RANK]... [--full-ddv]
+//!          [--contention none|fifo] [--replication N]
+//!          [--trace protocol|full] [--trace-file PATH]
 //! hc3i-sim sample-configs <dir>
 //! ```
 
 use desim::{RngStreams, SimDuration, SimTime, TraceLevel};
-use hc3i_core::{PiggybackMode, ProtocolConfig};
-use netsim::NodeId;
+use hc3i_core::{PiggybackMode, ProtocolConfig, ReplicationPolicy};
+use netsim::{ContentionModel, NodeId};
 use simdriver::SimConfig;
+use std::io::Write as _;
 use std::process::ExitCode;
 use workload::Workload;
 
@@ -32,8 +35,18 @@ const USAGE: &str = "\
 usage:
   hc3i-sim run --topology FILE --application FILE --timers FILE
            [--seed N] [--fault MIN:CLUSTER:RANK]... [--full-ddv]
-           [--trace protocol|full]
+           [--contention none|fifo] [--replication N]
+           [--trace protocol|full] [--trace-file PATH]
   hc3i-sim sample-configs DIR
+
+flags:
+  --full-ddv         piggyback the whole DDV (paper §7) instead of the SN
+  --contention       inter-cluster link model: none (default) or fifo
+                     (transfers on a directed cluster pair serialize)
+  --replication N    checkpoint-fragment replication degree (default 1)
+  --trace LEVEL      record protocol or full trace (default off)
+  --trace-file PATH  write the trace to PATH instead of stdout (implies
+                     --trace protocol unless a level is given)
 ";
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -44,6 +57,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut faults: Vec<(u64, u16, u32)> = vec![];
     let mut full_ddv = false;
     let mut trace = TraceLevel::Off;
+    let mut trace_file: Option<String> = None;
+    let mut contention = ContentionModel::Unlimited;
+    let mut replication: Option<u32> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -58,12 +74,32 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 }
             }
             "--full-ddv" => full_ddv = true,
+            "--contention" => {
+                contention = match it.next().map(String::as_str) {
+                    Some("none") => ContentionModel::Unlimited,
+                    Some("fifo") => ContentionModel::InterClusterFifo,
+                    _ => return usage_error("--contention wants none|fifo"),
+                }
+            }
+            "--replication" => {
+                replication = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(0) => return usage_error("--replication needs a degree >= 1"),
+                    Some(d) => Some(d),
+                    None => return usage_error("--replication needs an integer"),
+                }
+            }
             "--trace" => {
                 trace = match it.next().map(String::as_str) {
                     Some("protocol") => TraceLevel::Protocol,
                     Some("full") => TraceLevel::Full,
                     Some("off") => TraceLevel::Off,
                     _ => return usage_error("--trace wants protocol|full|off"),
+                }
+            }
+            "--trace-file" => {
+                trace_file = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage_error("--trace-file needs a path"),
                 }
             }
             "--fault" => {
@@ -90,6 +126,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return usage_error("need --topology, --application and --timers");
     };
 
+    // A trace file without an explicit level would silently be empty;
+    // default to the protocol level instead.
+    if trace_file.is_some() && trace == TraceLevel::Off {
+        trace = TraceLevel::Protocol;
+    }
+
     let read = |path: &str| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
     };
@@ -106,10 +148,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if full_ddv {
             protocol = protocol.with_piggyback(PiggybackMode::FullDdv);
         }
+        if let Some(degree) = replication {
+            protocol = protocol.with_replication(ReplicationPolicy::with_degree(degree));
+        }
         let mut cfg = SimConfig::new(topo, app.duration)
             .with_sends(sends)
             .with_seed(seed)
             .with_protocol(protocol);
+        cfg.contention = contention;
         cfg.detection_delay = timer_spec.detection_delay;
         for (c, d) in timer_spec.clc_delays.iter().enumerate() {
             cfg.clc_delays[c] = *d;
@@ -126,7 +172,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
         cfg = cfg.with_trace(trace);
         let (report, tracer) = simdriver::run_traced(cfg);
-        if trace != TraceLevel::Off {
+        if let Some(path) = &trace_file {
+            let mut f = std::fs::File::create(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let mut write_all = || -> std::io::Result<()> {
+                for rec in tracer.records() {
+                    writeln!(f, "[{}] {:<9} {}", rec.at, rec.subsystem, rec.detail)?;
+                }
+                Ok(())
+            };
+            write_all().map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace: {} records -> {path}", tracer.records().len());
+        } else if trace != TraceLevel::Off {
             println!("== trace ({} records) ==", tracer.records().len());
             for rec in tracer.records() {
                 println!("[{}] {:<9} {}", rec.at, rec.subsystem, rec.detail);

@@ -16,6 +16,7 @@
 
 use crate::msg::{AppPayload, ClcReason, Msg, Piggyback};
 use netsim::NodeId;
+use std::sync::Arc;
 use storage::{Ddv, LogId, SeqNum};
 
 /// Wire-format version byte; bump on any incompatible change.
@@ -147,7 +148,7 @@ fn get_piggyback(buf: &[u8], pos: &mut usize) -> Result<Piggyback, DecodeError> 
     *pos += 1;
     match tag {
         0 => Ok(Piggyback::Sn(SeqNum(get_u64(buf, pos)?))),
-        1 => Ok(Piggyback::Ddv(get_ddv(buf, pos)?)),
+        1 => Ok(Piggyback::Ddv(Arc::new(get_ddv(buf, pos)?))),
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -354,7 +355,7 @@ pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
         T_CLC_COMMIT => Msg::ClcCommit {
             round: get_u64(buf, &mut pos)?,
             sn: SeqNum(get_u64(buf, &mut pos)?),
-            ddv: get_ddv(buf, &mut pos)?,
+            ddv: Arc::new(get_ddv(buf, &mut pos)?),
             forced: get_bool(buf, &mut pos)?,
             epoch: get_u64(buf, &mut pos)?,
         },
@@ -472,7 +473,7 @@ mod tests {
                 epoch: 3,
             },
             Msg::ClcInit {
-                reason: ClcReason::Forced(Piggyback::Ddv(ddv.clone()), 1),
+                reason: ClcReason::Forced(Piggyback::Ddv(Arc::new(ddv.clone())), 1),
                 epoch: u64::MAX,
             },
             Msg::ClcRequest { round: 9, epoch: 1 },
@@ -494,7 +495,7 @@ mod tests {
             Msg::ClcCommit {
                 round: 10,
                 sn: SeqNum(11),
-                ddv: ddv.clone(),
+                ddv: Arc::new(ddv.clone()),
                 forced: true,
                 epoch: 0,
             },
@@ -507,7 +508,7 @@ mod tests {
             },
             Msg::AppInter {
                 payload: AppPayload { bytes: 1, tag: 0 },
-                piggyback: Piggyback::Ddv(ddv.clone()),
+                piggyback: Piggyback::Ddv(Arc::new(ddv.clone())),
                 log_id: LogId(128),
                 resend: true,
                 sender_epoch: 6,

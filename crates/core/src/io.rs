@@ -1,9 +1,11 @@
 //! Engine inputs and outputs.
 //!
 //! The node engine is a pure state machine: it consumes one [`Input`] at a
-//! time and returns the [`Output`] actions the hosting engine (discrete-
-//! event simulator or threaded runtime) must perform. This is what lets the
-//! identical protocol code run under both substrates.
+//! time and emits the [`Output`] actions the hosting engine (discrete-
+//! event simulator or threaded runtime) must perform into a caller-owned
+//! [`OutputBuf`]. This is what lets the identical protocol code run under
+//! both substrates — and, because the buffer is reusable, lets a host
+//! drive millions of inputs without a heap allocation per event.
 
 use crate::msg::{AppPayload, Msg};
 use netsim::NodeId;
@@ -120,4 +122,87 @@ pub enum Output {
         /// The serialized state captured in the restored checkpoint.
         state: Option<Vec<u8>>,
     },
+}
+
+/// A reusable, caller-owned sink for the actions a [`NodeEngine`] emits.
+///
+/// Hosts keep one `OutputBuf` alive across events: `handle` appends into
+/// it, the host [`drain`](OutputBuf::drain)s the actions, and the backing
+/// storage is reused for the next event. On the simulator's hot path this
+/// removes the per-event `Vec` allocation the engine used to return.
+///
+/// [`NodeEngine`]: crate::NodeEngine
+#[derive(Debug, Default)]
+pub struct OutputBuf {
+    items: Vec<Output>,
+}
+
+impl OutputBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        OutputBuf { items: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` outputs before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        OutputBuf {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append one action.
+    #[inline]
+    pub fn push(&mut self, out: Output) {
+        self.items.push(out);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no action is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drop all buffered actions, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The buffered actions, in emission order.
+    pub fn as_slice(&self) -> &[Output] {
+        &self.items
+    }
+
+    /// Move every buffered action out, keeping the backing storage for
+    /// reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Output> {
+        self.items.drain(..)
+    }
+
+    /// Consume the buffer, returning the buffered actions.
+    pub fn into_vec(self) -> Vec<Output> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_buf_reuses_storage_across_drains() {
+        let mut buf = OutputBuf::with_capacity(4);
+        buf.push(Output::ResetClcTimer);
+        buf.push(Output::ResetClcTimer);
+        let cap = buf.items.capacity();
+        assert_eq!(buf.drain().count(), 2);
+        assert!(buf.is_empty());
+        assert_eq!(buf.items.capacity(), cap, "drain keeps the allocation");
+        buf.push(Output::ResetClcTimer);
+        assert_eq!(buf.as_slice().len(), 1);
+        assert_eq!(buf.into_vec().len(), 1);
+    }
 }

@@ -18,10 +18,19 @@
 //!   no failure could ever need (§3.5).
 //!
 //! The protocol is packaged as a per-node state machine ([`NodeEngine`]):
-//! feed it [`Input`]s, perform the [`Output`]s. Both the discrete-event
-//! simulator (`simdriver`) and the hand-rolled threaded messaging runtime
-//! (`runtime`) drive this same type, so simulation results and live-runtime
-//! behaviour come from identical protocol code.
+//! feed it [`Input`]s, perform the [`Output`]s it emits into a caller-owned
+//! reusable sink ([`OutputBuf`]). Both the discrete-event simulator
+//! (`simdriver`) and the hand-rolled threaded messaging runtime (`runtime`)
+//! drive this same type through the same sink API, so simulation results
+//! and live-runtime behaviour come from identical protocol code — and the
+//! engine allocates nothing per input on the hot path (DDV stamps on
+//! outgoing messages and cluster-wide commit broadcasts are `Arc`-shared,
+//! not deep-cloned).
+//!
+//! **Determinism contract:** the engine is deterministic — identical input
+//! sequences produce identical outputs, which is what makes whole-
+//! federation runs a pure function of their configuration and seed (same
+//! seed ⇒ bit-identical reports).
 
 #![warn(missing_docs)]
 
@@ -38,7 +47,7 @@ pub mod testkit;
 
 pub use checkpoint::NodeCheckpoint;
 pub use config::{PiggybackMode, ProtocolConfig, WireSizes};
-pub use io::{Input, Output};
+pub use io::{Input, Output, OutputBuf};
 pub use msg::{AppPayload, ClcReason, Msg, Piggyback};
 pub use node::NodeEngine;
 pub use recovery::{is_consistent_cut, recovery_line, recovery_line_multi, RecoveryLine};

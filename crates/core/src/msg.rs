@@ -2,6 +2,7 @@
 
 use crate::config::ProtocolConfig;
 use netsim::MessageClass;
+use std::sync::Arc;
 use storage::{Ddv, LogId, SeqNum};
 
 /// An application payload as the protocol sees it: opaque content of a known
@@ -16,12 +17,18 @@ pub struct AppPayload {
 
 /// Dependency information piggybacked on inter-cluster application
 /// messages.
+///
+/// The DDV variant is `Arc`-shared: the sender's engine stamps one
+/// immutable DDV snapshot per committed CLC and every message sent under
+/// that stamp bumps a reference count instead of deep-cloning the vector,
+/// so attaching dependency information no longer scales with the number of
+/// clusters in the federation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Piggyback {
     /// The sender cluster's SN (paper §3.2).
     Sn(SeqNum),
     /// The sender cluster's whole DDV (paper §7 transitive extension).
-    Ddv(Ddv),
+    Ddv(Arc<Ddv>),
 }
 
 impl Piggyback {
@@ -95,8 +102,10 @@ pub enum Msg {
         round: u64,
         /// The sequence number this CLC commits as.
         sn: SeqNum,
-        /// The DDV stamped on this CLC (identical cluster-wide).
-        ddv: Ddv,
+        /// The DDV stamped on this CLC (identical cluster-wide, so it is
+        /// `Arc`-shared: broadcasting the commit to an `n`-node cluster
+        /// clones a pointer, not `n` vectors).
+        ddv: Arc<Ddv>,
         /// Whether an inter-cluster message forced this CLC.
         forced: bool,
         /// Rollback epoch.
@@ -258,7 +267,7 @@ mod tests {
     fn piggyback_sender_sn() {
         assert_eq!(Piggyback::Sn(SeqNum(4)).sender_sn(2), SeqNum(4));
         let ddv = Ddv::from_entries(vec![SeqNum(1), SeqNum(2), SeqNum(3)]);
-        assert_eq!(Piggyback::Ddv(ddv).sender_sn(2), SeqNum(3));
+        assert_eq!(Piggyback::Ddv(Arc::new(ddv)).sender_sn(2), SeqNum(3));
     }
 
     #[test]
@@ -277,7 +286,7 @@ mod tests {
         };
         let ddv_msg = Msg::AppInter {
             payload: p,
-            piggyback: Piggyback::Ddv(Ddv::zeros(3)),
+            piggyback: Piggyback::Ddv(Arc::new(Ddv::zeros(3))),
             log_id: LogId(0),
             resend: false,
             sender_epoch: 0,

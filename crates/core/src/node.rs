@@ -18,11 +18,12 @@
 use crate::checkpoint::NodeCheckpoint;
 use crate::config::{PiggybackMode, ProtocolConfig};
 use crate::gc;
-use crate::io::{Input, Output};
+use crate::io::{Input, Output, OutputBuf};
 use crate::msg::{AppPayload, ClcReason, Msg, Piggyback};
 use desim::SimTime;
 use netsim::NodeId;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use storage::{ClcMeta, ClcStore, Ddv, LogId, MessageLog, SeqNum};
 
 /// An inter-cluster message held until a forced CLC commits (paper §3.2:
@@ -41,8 +42,10 @@ struct PendingInter {
 struct FrozenState {
     round: u64,
     staged: NodeCheckpoint,
-    /// Replica holders that have not yet confirmed storing our fragment.
-    awaiting_frag: HashSet<u32>,
+    /// Replica holders that have not yet confirmed storing our fragment
+    /// (a short vector — at most the replication degree — so membership
+    /// is a scan, not a hash probe).
+    awaiting_frag: Vec<u32>,
     /// Whether our ClcAck has been sent to the coordinator.
     acked: bool,
     /// Intra-cluster app messages captured during the freeze (channel
@@ -59,7 +62,10 @@ struct FrozenState {
 #[derive(Debug)]
 struct RoundState {
     round: u64,
-    acks: HashSet<u32>,
+    /// Per-rank ack flags plus a running count (duplicate-proof without
+    /// hashing on the commit hot path).
+    acked: Vec<bool>,
+    ack_count: u32,
     reasons: Vec<ClcReason>,
 }
 
@@ -91,6 +97,10 @@ pub struct NodeEngine {
     epoch: u64,
     sn: SeqNum,
     ddv: Ddv,
+    /// Shared snapshot of `ddv` handed out as the FullDdv piggyback stamp;
+    /// rebuilt lazily after every `ddv` change so repeated sends under one
+    /// CLC clone a pointer, not the vector.
+    ddv_stamp: Option<Arc<Ddv>>,
     store: ClcStore<NodeCheckpoint>,
     log: MessageLog<AppPayload>,
     /// Delivery record for inter-cluster duplicate suppression:
@@ -149,6 +159,7 @@ impl NodeEngine {
             epoch: 0,
             sn: initial_sn,
             ddv,
+            ddv_stamp: None,
             store,
             log: MessageLog::new(),
             delivered: std::collections::HashMap::new(),
@@ -224,10 +235,23 @@ impl NodeEngine {
         NodeId::new(cluster as u16, 0)
     }
 
-    fn current_piggyback(&self) -> Piggyback {
+    fn current_piggyback(&mut self) -> Piggyback {
         match self.cfg.piggyback {
             PiggybackMode::SnOnly => Piggyback::Sn(self.sn),
-            PiggybackMode::FullDdv => Piggyback::Ddv(self.ddv.clone()),
+            PiggybackMode::FullDdv => Piggyback::Ddv(self.ddv_stamp()),
+        }
+    }
+
+    /// The shared DDV snapshot for outgoing stamps, rebuilt at most once
+    /// per DDV change.
+    fn ddv_stamp(&mut self) -> Arc<Ddv> {
+        match &self.ddv_stamp {
+            Some(stamp) => stamp.clone(),
+            None => {
+                let stamp = Arc::new(self.ddv.clone());
+                self.ddv_stamp = Some(stamp.clone());
+                stamp
+            }
         }
     }
 
@@ -241,9 +265,10 @@ impl NodeEngine {
 
     // ---- main dispatch ---------------------------------------------------
 
-    /// Feed one input; returns the actions the hosting engine must perform.
-    pub fn handle(&mut self, now: SimTime, input: Input) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// Feed one input; appends the actions the hosting engine must perform
+    /// to `out` (a reusable, caller-owned buffer — hosts keep one alive
+    /// across events so the hot path allocates nothing).
+    pub fn handle(&mut self, now: SimTime, input: Input, out: &mut OutputBuf) {
         if self.failed {
             // A failed node reacts only to the rollback order that revives
             // it from stable storage.
@@ -257,32 +282,36 @@ impl NodeEngine {
                 ..
             } = &input
             {
-                self.apply_rollback(*restore_sn, *epoch, *new_coordinator, &mut out);
+                self.apply_rollback(*restore_sn, *epoch, *new_coordinator, out);
             }
-            return out;
+            return;
         }
         match input {
-            Input::Receive { from, msg } => self.handle_msg(now, from, msg, &mut out),
-            Input::AppSend { to, payload } => self.app_send(to, payload, &mut out),
-            Input::ClcTimer => self.on_clc_timer(now, &mut out),
-            Input::GcTimer => self.on_gc_timer(&mut out),
+            Input::Receive { from, msg } => self.handle_msg(now, from, msg, out),
+            Input::AppSend { to, payload } => self.app_send(to, payload, out),
+            Input::ClcTimer => self.on_clc_timer(now, out),
+            Input::GcTimer => self.on_gc_timer(out),
             Input::Fail => {
                 self.failed = true;
             }
-            Input::DetectFault { failed_rank } => {
-                self.on_detect_faults(&[failed_rank], &mut out)
-            }
-            Input::DetectFaults { failed_ranks } => {
-                self.on_detect_faults(&failed_ranks, &mut out)
-            }
+            Input::DetectFault { failed_rank } => self.on_detect_faults(&[failed_rank], out),
+            Input::DetectFaults { failed_ranks } => self.on_detect_faults(&failed_ranks, out),
             Input::AppStateUpdate { state } => {
                 self.app_state = Some(state);
             }
         }
-        out
     }
 
-    fn handle_msg(&mut self, now: SimTime, from: NodeId, msg: Msg, out: &mut Vec<Output>) {
+    /// Convenience wrapper around [`NodeEngine::handle`] that collects the
+    /// actions into a fresh `Vec` (tests and one-shot callers; hot paths
+    /// should hold a reusable [`OutputBuf`] instead).
+    pub fn handle_collect(&mut self, now: SimTime, input: Input) -> Vec<Output> {
+        let mut out = OutputBuf::new();
+        self.handle(now, input, &mut out);
+        out.into_vec()
+    }
+
+    fn handle_msg(&mut self, now: SimTime, from: NodeId, msg: Msg, out: &mut OutputBuf) {
         match msg {
             // ---- 2PC ----
             Msg::ClcInit { reason, epoch } => {
@@ -318,7 +347,9 @@ impl NodeEngine {
                 let mut ack_now = false;
                 if let Some(f) = self.frozen.as_mut() {
                     if f.round == round {
-                        f.awaiting_frag.remove(&holder);
+                        if let Some(pos) = f.awaiting_frag.iter().position(|&h| h == holder) {
+                            f.awaiting_frag.swap_remove(pos);
+                        }
                         if f.awaiting_frag.is_empty() && !f.acked {
                             f.acked = true;
                             ack_now = true;
@@ -455,14 +486,12 @@ impl NodeEngine {
                 // A coordinator hearing this from outside its cluster
                 // relays it to its own nodes.
                 if self.is_coordinator() && from.cluster != self.id.cluster {
-                    for rank in self.other_ranks() {
-                        out.push(Output::Send {
-                            to: NodeId::new(self.id.cluster.0, rank),
-                            msg: Msg::GcPrune {
-                                min_sns: min_sns.clone(),
-                            },
-                        });
-                    }
+                    self.send_to_other_ranks(
+                        &Msg::GcPrune {
+                            min_sns: min_sns.clone(),
+                        },
+                        out,
+                    );
                 }
                 self.apply_gc_prune(&min_sns, out);
             }
@@ -471,15 +500,22 @@ impl NodeEngine {
 
     // ---- helpers ---------------------------------------------------------
 
-    /// Ranks of every other node in this cluster.
-    fn other_ranks(&self) -> Vec<u32> {
-        (0..self.cluster_size())
-            .filter(|&r| r != self.id.rank)
-            .collect()
+    /// Send `msg` to every other node of this cluster (allocation-free:
+    /// the rank loop is inlined instead of materializing a rank list).
+    fn send_to_other_ranks(&self, msg: &Msg, out: &mut OutputBuf) {
+        let me = self.id.rank;
+        for rank in 0..self.cluster_size() {
+            if rank != me {
+                out.push(Output::Send {
+                    to: NodeId::new(self.id.cluster.0, rank),
+                    msg: msg.clone(),
+                });
+            }
+        }
     }
 
     /// Send `msg` to `to`, short-circuiting messages to self.
-    fn send_or_local(&mut self, now: SimTime, to: NodeId, msg: Msg, out: &mut Vec<Output>) {
+    fn send_or_local(&mut self, now: SimTime, to: NodeId, msg: Msg, out: &mut OutputBuf) {
         if to == self.id {
             self.handle_msg(now, to, msg, out);
         } else {
@@ -489,19 +525,14 @@ impl NodeEngine {
 
     /// Broadcast `msg` to every other node of this cluster, then apply it
     /// locally.
-    fn broadcast_cluster(&mut self, now: SimTime, msg: Msg, out: &mut Vec<Output>) {
-        for rank in self.other_ranks() {
-            out.push(Output::Send {
-                to: NodeId::new(self.id.cluster.0, rank),
-                msg: msg.clone(),
-            });
-        }
+    fn broadcast_cluster(&mut self, now: SimTime, msg: Msg, out: &mut OutputBuf) {
+        self.send_to_other_ranks(&msg, out);
         self.handle_msg(now, self.id, msg, out);
     }
 
     // ---- application sends -----------------------------------------------
 
-    fn app_send(&mut self, to: NodeId, payload: AppPayload, out: &mut Vec<Output>) {
+    fn app_send(&mut self, to: NodeId, payload: AppPayload, out: &mut OutputBuf) {
         assert!(to != self.id, "self-sends are not messages");
         if let Some(f) = self.frozen.as_mut() {
             // Application messages are frozen during the 2PC (paper §3.1).
@@ -511,7 +542,7 @@ impl NodeEngine {
         self.do_send(to, payload, out);
     }
 
-    fn do_send(&mut self, to: NodeId, payload: AppPayload, out: &mut Vec<Output>) {
+    fn do_send(&mut self, to: NodeId, payload: AppPayload, out: &mut OutputBuf) {
         if to.cluster == self.id.cluster {
             out.push(Output::Send {
                 to,
@@ -553,7 +584,7 @@ impl NodeEngine {
         payload: AppPayload,
         piggyback: Piggyback,
         log_id: LogId,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         // Duplicate (an original raced a replay): re-acknowledge with the
         // SN recorded at first delivery.
@@ -594,7 +625,7 @@ impl NodeEngine {
         from: NodeId,
         payload: AppPayload,
         log_id: LogId,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         self.dirty = true;
         self.delivered.insert((from, log_id.0), self.sn);
@@ -609,7 +640,7 @@ impl NodeEngine {
     }
 
     /// After a commit (or rollback) re-examine held inter-cluster messages.
-    fn recheck_pending(&mut self, out: &mut Vec<Output>) {
+    fn recheck_pending(&mut self, out: &mut OutputBuf) {
         let mut still_pending = Vec::new();
         for p in std::mem::take(&mut self.pending_inter) {
             if self.needs_forced_clc(&p.piggyback, p.from.cluster.index()) {
@@ -623,7 +654,7 @@ impl NodeEngine {
 
     // ---- 2PC: node side ----------------------------------------------------
 
-    fn freeze_and_stage(&mut self, now: SimTime, round: u64, out: &mut Vec<Output>) {
+    fn freeze_and_stage(&mut self, now: SimTime, round: u64, out: &mut OutputBuf) {
         if self.frozen.is_some() {
             // Duplicate request within a round (cannot happen with a
             // correct coordinator); ignore.
@@ -648,7 +679,7 @@ impl NodeEngine {
                 },
             });
         }
-        let awaiting: HashSet<u32> = holders.into_iter().collect();
+        let awaiting = holders;
         let ack_immediately = awaiting.is_empty();
         self.frozen = Some(FrozenState {
             round,
@@ -672,9 +703,9 @@ impl NodeEngine {
         now: SimTime,
         round: u64,
         sn: SeqNum,
-        ddv: Ddv,
+        ddv: Arc<Ddv>,
         forced: bool,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         let Some(frozen) = self.frozen.take() else {
             return; // stale commit after a rollback
@@ -694,14 +725,16 @@ impl NodeEngine {
         self.store.commit(
             ClcMeta {
                 sn,
-                ddv: ddv.clone(),
+                ddv: (*ddv).clone(),
                 committed_at: now,
                 forced,
             },
             staged,
         );
         self.sn = sn;
-        self.ddv = ddv;
+        self.ddv = (*ddv).clone();
+        // The commit's shared stamp *is* the new outgoing stamp.
+        self.ddv_stamp = Some(ddv);
         self.dirty = true;
         if self.is_coordinator() {
             out.push(Output::Committed { sn, forced });
@@ -734,7 +767,7 @@ impl NodeEngine {
 
     // ---- 2PC: coordinator side ---------------------------------------------
 
-    fn coord_init(&mut self, now: SimTime, reason: ClcReason, out: &mut Vec<Output>) {
+    fn coord_init(&mut self, now: SimTime, reason: ClcReason, out: &mut OutputBuf) {
         if !self.reason_relevant(&reason) {
             return;
         }
@@ -747,7 +780,7 @@ impl NodeEngine {
         }
     }
 
-    fn on_clc_timer(&mut self, now: SimTime, out: &mut Vec<Output>) {
+    fn on_clc_timer(&mut self, now: SimTime, out: &mut OutputBuf) {
         if !self.is_coordinator() {
             return;
         }
@@ -761,7 +794,7 @@ impl NodeEngine {
         }
     }
 
-    fn coord_maybe_start(&mut self, now: SimTime, out: &mut Vec<Output>) {
+    fn coord_maybe_start(&mut self, now: SimTime, out: &mut OutputBuf) {
         if self.coord.current.is_some() {
             return;
         }
@@ -776,19 +809,24 @@ impl NodeEngine {
         let round = self.coord.next_round;
         self.coord.current = Some(RoundState {
             round,
-            acks: HashSet::new(),
+            acked: vec![false; self.cluster_size() as usize],
+            ack_count: 0,
             reasons,
         });
         let epoch = self.epoch;
         self.broadcast_cluster(now, Msg::ClcRequest { round, epoch }, out);
     }
 
-    fn coord_ack(&mut self, now: SimTime, round: u64, rank: u32, out: &mut Vec<Output>) {
+    fn coord_ack(&mut self, now: SimTime, round: u64, rank: u32, out: &mut OutputBuf) {
         let size = self.cluster_size();
         let complete = match self.coord.current.as_mut() {
             Some(r) if r.round == round => {
-                r.acks.insert(rank);
-                r.acks.len() as u32 == size
+                let idx = rank as usize;
+                if idx < r.acked.len() && !r.acked[idx] {
+                    r.acked[idx] = true;
+                    r.ack_count += 1;
+                }
+                r.ack_count == size
             }
             _ => false,
         };
@@ -820,7 +858,7 @@ impl NodeEngine {
             Msg::ClcCommit {
                 round: round_state.round,
                 sn,
-                ddv,
+                ddv: Arc::new(ddv),
                 forced,
                 epoch,
             },
@@ -830,7 +868,7 @@ impl NodeEngine {
 
     // ---- rollback ----------------------------------------------------------
 
-    fn on_detect_faults(&mut self, failed_ranks: &[u32], out: &mut Vec<Output>) {
+    fn on_detect_faults(&mut self, failed_ranks: &[u32], out: &mut OutputBuf) {
         if !self
             .cfg
             .replication
@@ -846,19 +884,17 @@ impl NodeEngine {
     }
 
     /// Roll the whole cluster back to `restore_sn` and alert the federation.
-    fn initiate_cluster_rollback(&mut self, restore_sn: SeqNum, out: &mut Vec<Output>) {
+    fn initiate_cluster_rollback(&mut self, restore_sn: SeqNum, out: &mut OutputBuf) {
         let new_epoch = self.epoch + 1;
         let my_rank = self.id.rank;
-        for rank in self.other_ranks() {
-            out.push(Output::Send {
-                to: NodeId::new(self.id.cluster.0, rank),
-                msg: Msg::RollbackOrder {
-                    restore_sn,
-                    epoch: new_epoch,
-                    new_coordinator: self.coordinator_rank,
-                },
-            });
-        }
+        self.send_to_other_ranks(
+            &Msg::RollbackOrder {
+                restore_sn,
+                epoch: new_epoch,
+                new_coordinator: self.coordinator_rank,
+            },
+            out,
+        );
         let coord_rank = self.coordinator_rank;
         self.apply_rollback(restore_sn, new_epoch, coord_rank, out);
         // Alert every other cluster (paper §3.4), sent by the node that
@@ -884,7 +920,7 @@ impl NodeEngine {
         restore_sn: SeqNum,
         epoch: u64,
         new_coordinator: u32,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         if epoch <= self.epoch {
             return; // stale or duplicate order
@@ -898,6 +934,7 @@ impl NodeEngine {
             .expect("rollback target must be stored");
         self.sn = restore_sn;
         self.ddv = entry.meta.ddv.clone();
+        self.ddv_stamp = None;
         self.delivered = entry.payload.delivered.clone();
         let restored_app = entry.payload.app_state.clone();
         self.app_state = restored_app.clone();
@@ -933,7 +970,7 @@ impl NodeEngine {
         origin: usize,
         alert_sn: SeqNum,
         origin_epoch: u64,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         debug_assert_ne!(origin, self.my_cluster(), "alert from own cluster");
         // Each restore of `origin` produces exactly one alert with a fresh
@@ -973,7 +1010,7 @@ impl NodeEngine {
         );
     }
 
-    fn resend_logged(&mut self, origin: usize, alert_sn: SeqNum, out: &mut Vec<Output>) {
+    fn resend_logged(&mut self, origin: usize, alert_sn: SeqNum, out: &mut OutputBuf) {
         let to_resend: Vec<(LogId, usize, u32, AppPayload)> = self
             .log
             .to_resend(origin, alert_sn)
@@ -997,7 +1034,7 @@ impl NodeEngine {
 
     // ---- garbage collection --------------------------------------------------
 
-    fn on_gc_timer(&mut self, out: &mut Vec<Output>) {
+    fn on_gc_timer(&mut self, out: &mut OutputBuf) {
         // Only the federation GC initiator (cluster 0's coordinator) runs
         // the centralized collection.
         if self.my_cluster() != 0 || !self.is_coordinator() || self.gc.is_some() {
@@ -1024,7 +1061,7 @@ impl NodeEngine {
         now: SimTime,
         cluster: usize,
         list: Vec<(SeqNum, Ddv)>,
-        out: &mut Vec<Output>,
+        out: &mut OutputBuf,
     ) {
         let n = self.cfg.num_clusters();
         let complete = match self.gc.as_mut() {
@@ -1039,7 +1076,7 @@ impl NodeEngine {
         }
     }
 
-    fn gc_finish(&mut self, now: SimTime, out: &mut Vec<Output>) {
+    fn gc_finish(&mut self, now: SimTime, out: &mut OutputBuf) {
         let g = self.gc.take().expect("gc in progress");
         let lists: Vec<Vec<(SeqNum, Ddv)>> = (0..self.cfg.num_clusters())
             .map(|c| g.lists[&c].clone())
@@ -1054,19 +1091,17 @@ impl NodeEngine {
             });
         }
         // Own cluster: relay + apply.
-        for rank in self.other_ranks() {
-            out.push(Output::Send {
-                to: NodeId::new(self.id.cluster.0, rank),
-                msg: Msg::GcPrune {
-                    min_sns: min_sns.clone(),
-                },
-            });
-        }
+        self.send_to_other_ranks(
+            &Msg::GcPrune {
+                min_sns: min_sns.clone(),
+            },
+            out,
+        );
         let _ = now;
         self.apply_gc_prune(&min_sns, out);
     }
 
-    fn apply_gc_prune(&mut self, min_sns: &[SeqNum], out: &mut Vec<Output>) {
+    fn apply_gc_prune(&mut self, min_sns: &[SeqNum], out: &mut OutputBuf) {
         let before = self.store.len();
         self.store.prune_below(min_sns[self.my_cluster()]);
         let after = self.store.len();

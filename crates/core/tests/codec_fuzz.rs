@@ -14,7 +14,7 @@ fn ddv_strategy() -> impl Strategy<Value = Ddv> {
 fn piggyback_strategy() -> impl Strategy<Value = Piggyback> {
     prop_oneof![
         any::<u64>().prop_map(|v| Piggyback::Sn(SeqNum(v))),
-        ddv_strategy().prop_map(Piggyback::Ddv),
+        ddv_strategy().prop_map(|d| Piggyback::Ddv(std::sync::Arc::new(d))),
     ]
 }
 
@@ -46,7 +46,7 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
             |(round, sn, ddv, forced, epoch)| Msg::ClcCommit {
                 round,
                 sn: SeqNum(sn),
-                ddv,
+                ddv: std::sync::Arc::new(ddv),
                 forced,
                 epoch,
             }

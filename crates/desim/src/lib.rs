@@ -3,7 +3,9 @@
 //! This crate is the substrate replacing the C++SIM library the paper used
 //! for its evaluation (§5.1). It provides:
 //!
-//! * a simulated clock and cancellable future-event list ([`EventQueue`]),
+//! * a simulated clock and cancellable future-event list ([`EventQueue`]) —
+//!   a `(time, seq)` min-heap over a generation-stamped slab, giving O(1)
+//!   hash-free cancellation and allocation-free steady-state scheduling,
 //! * an event-scheduling executive ([`Simulation`] / [`World`]),
 //! * named, independent, reproducible RNG streams ([`RngStreams`]),
 //! * statistics collectors ([`StatsRegistry`], [`Counter`], [`Tally`],

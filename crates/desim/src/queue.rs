@@ -1,47 +1,72 @@
 //! The pending-event set.
 //!
-//! A binary min-heap of `(time, seq)` keys. `seq` is a monotonically
-//! increasing tie-breaker so that events scheduled for the same instant fire
-//! in scheduling order — this is what makes whole-federation runs
-//! bit-for-bit reproducible under a fixed seed.
+//! A binary min-heap of `(time, seq)` keys over a **generation-stamped
+//! slab** of event payloads. `seq` is a monotonically increasing
+//! tie-breaker so that events scheduled for the same instant fire in
+//! scheduling order — this is what makes whole-federation runs bit-for-bit
+//! reproducible under a fixed seed.
 //!
 //! Cancellation (needed for resettable protocol timers: "the timer is reset
-//! when a forced CLC is established") is lazy: cancelled keys stay in the
-//! heap and are skipped on pop.
+//! when a forced CLC is established") is O(1) and hash-free: every slab
+//! slot carries a generation counter that is bumped whenever the slot is
+//! vacated, so a stale heap entry (or a stale [`EventKey`]) is detected by
+//! a single generation comparison. Cancelled payloads are dropped
+//! immediately; only the 24-byte heap key stays behind until popped.
+//! Vacated slots are recycled through a free list, so a steady-state
+//! simulation reaches zero allocations per schedule/fire cycle.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Opaque handle identifying a scheduled event, usable to cancel it.
+///
+/// The handle carries the event's slab slot and the slot's generation at
+/// scheduling time; a key whose generation no longer matches the slot
+/// (because the event fired, was cancelled, or the slot was recycled) is
+/// simply rejected by [`EventQueue::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
 
 impl EventKey {
-    /// The raw sequence number (diagnostics only).
+    /// The raw scheduling sequence number (diagnostics only).
     pub fn raw(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// One slab slot: the payload of a live event plus the generation stamp
+/// that invalidates stale heap entries and keys.
+struct Slot<E> {
+    generation: u32,
+    event: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Heap key ordering events earliest-first, ties broken by scheduling
+/// order. The payload itself lives in the slab.
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest-first.
         other
@@ -53,11 +78,13 @@ impl<E> Ord for Entry<E> {
 
 /// Future event list: a cancellable, deterministic priority queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Keys currently pending (pushed, not yet popped or cancelled). The
-    /// heap may hold stale entries for cancelled keys; `pop` skips them.
-    live: HashSet<u64>,
+    heap: BinaryHeap<HeapKey>,
+    slots: Vec<Slot<E>>,
+    /// Vacated slot indices available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
+    /// Live (scheduled, not yet fired or cancelled) events.
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,8 +98,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
+            live: 0,
         }
     }
 
@@ -80,33 +109,79 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.live.insert(seq);
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    event: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(HeapKey {
+            at,
+            seq,
+            slot,
+            generation,
+        });
+        self.live += 1;
+        EventKey {
+            seq,
+            slot,
+            generation,
+        }
+    }
+
+    /// Vacate `slot`, invalidating any outstanding heap entry or key for
+    /// its current occupant.
+    fn vacate(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.event = None;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. not yet popped and not already cancelled).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        self.live.remove(&key.0)
+        match self.slots.get(key.slot as usize) {
+            Some(s) if s.generation == key.generation && s.event.is_some() => {
+                self.vacate(key.slot);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Remove and return the earliest live event with its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.live.remove(&entry.seq) {
-                return Some((entry.at, entry.event));
+        while let Some(k) = self.heap.pop() {
+            let s = &mut self.slots[k.slot as usize];
+            if s.generation == k.generation {
+                if let Some(event) = s.event.take() {
+                    s.generation = s.generation.wrapping_add(1);
+                    self.free.push(k.slot);
+                    self.live -= 1;
+                    return Some((k.at, event));
+                }
             }
-            // Stale entry for a cancelled key: drop and continue.
+            // Stale entry for a vacated slot: drop and continue.
         }
         None
     }
 
     /// Firing time of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.live.contains(&entry.seq) {
-                return Some(entry.at);
+        while let Some(k) = self.heap.peek() {
+            let s = &self.slots[k.slot as usize];
+            if s.generation == k.generation && s.event.is_some() {
+                return Some(k.at);
             }
             self.heap.pop();
         }
@@ -115,12 +190,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// True when no live event is pending.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 }
 
@@ -188,7 +263,11 @@ mod tests {
     #[test]
     fn cancel_unknown_key_fails() {
         let mut q: EventQueue<&str> = EventQueue::new();
-        assert!(!q.cancel(EventKey(42)));
+        assert!(!q.cancel(EventKey {
+            seq: 42,
+            slot: 42,
+            generation: 0
+        }));
     }
 
     #[test]
@@ -231,5 +310,35 @@ mod tests {
         assert_eq!(q.pop(), Some((t(0), 3)));
         assert_eq!(q.pop(), Some((t(0), 4)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_key_for_recycled_slot_fails() {
+        // A cancelled event's slot is recycled by a later push; the old
+        // key's generation no longer matches and must not cancel the new
+        // occupant.
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.cancel(a), "slot 0 vacated");
+        let _b = q.push(t(2), "b"); // reuses slot 0 at generation 1
+        assert!(!q.cancel(a), "stale generation rejected");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        // Steady-state schedule/fire cycles reuse the same slot instead of
+        // growing the slab.
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            let k = q.push(t(i), i);
+            if i % 2 == 0 {
+                assert_eq!(q.pop(), Some((t(i), i)));
+            } else {
+                assert!(q.cancel(k));
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.slots.len(), 1, "one slot recycled 1000 times");
     }
 }

@@ -62,6 +62,15 @@ impl Tracer {
         self.level
     }
 
+    /// Whether records needing `level` are currently kept. Hot paths guard
+    /// on this to skip even *constructing* the record closure and its
+    /// captured arguments (a gated call also skips the dropped-record
+    /// counter, which only tallies records that reached the tracer).
+    #[inline]
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        self.level >= level
+    }
+
     /// Record a protocol-level action (kept at `Protocol` and `Full`).
     pub fn protocol(&mut self, at: SimTime, subsystem: &'static str, detail: impl FnOnce() -> String) {
         self.emit(TraceLevel::Protocol, at, subsystem, detail);

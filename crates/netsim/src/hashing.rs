@@ -1,0 +1,98 @@
+//! A fast, deterministic hasher for hot-path lookup tables.
+//!
+//! The standard library's default SipHash is a measurable per-message cost
+//! on the simulator's hot path (one per-channel FIFO probe per send). The
+//! keys involved — node ids, log ids — are simulation state, not
+//! attacker-controlled input, so HashDoS resistance buys nothing here; a
+//! multiply-rotate mix in the spirit of rustc's FxHash is both faster and,
+//! unlike SipHash's per-process random keys, identical across runs.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FastHasher`] (drop-in for hot-path tables keyed by
+/// simulation ids).
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Multiply-rotate hasher (FxHash-style). Not cryptographic; do not use
+/// for attacker-controlled keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_and_is_deterministic() {
+        let mut m: FastHashMap<(u16, u32), u64> = FastHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(((i % 7) as u16, i), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(3, 10)), Some(&10));
+        assert_eq!(m.get(&(9, 10)), None);
+        // Same inputs hash identically across hasher instances (no
+        // per-process randomness).
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FastHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

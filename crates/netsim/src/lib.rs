@@ -10,10 +10,12 @@
 
 #![warn(missing_docs)]
 
+pub mod hashing;
 pub mod ids;
 pub mod network;
 pub mod topology;
 
+pub use hashing::{FastHashMap, FastHasher};
 pub use ids::{ClusterId, NodeId};
 pub use network::{ContentionModel, MessageClass, Network, TrafficCell};
 pub use topology::{ClusterSpec, LinkSpec, Topology, TriMatrix};

@@ -11,10 +11,10 @@
 //! to a `(from_cluster, to_cluster, class)` account — the paper's Table 1 is
 //! exactly a dump of those accounts for the application class.
 
+use crate::hashing::FastHashMap;
 use crate::ids::{ClusterId, NodeId};
 use crate::topology::Topology;
 use desim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// What a message is, for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,27 +49,53 @@ pub struct TrafficCell {
 }
 
 /// The network model: timing + accounting.
+///
+/// Hot-path layout: traffic accounts and contention pipes live in dense
+/// `clusters × clusters` arrays (the cluster-pair domain is small and
+/// known up front), and the per-node-channel FIFO table uses a fast
+/// non-cryptographic hasher — `send` performs no SipHash work and no
+/// allocation after a channel's first message.
 pub struct Network {
     topology: Topology,
     contention: ContentionModel,
+    n_clusters: usize,
     /// Per directed node channel: last scheduled arrival (FIFO ordering).
-    channel_last_arrival: HashMap<(NodeId, NodeId), SimTime>,
-    /// Per directed cluster pair: when the shared pipe frees up.
-    pipe_free_at: HashMap<(ClusterId, ClusterId), SimTime>,
-    /// Accounting: (from_cluster, to_cluster, class) -> traffic.
-    accounts: HashMap<(ClusterId, ClusterId, MessageClass), TrafficCell>,
+    channel_last_arrival: FastHashMap<(NodeId, NodeId), SimTime>,
+    /// Per directed cluster pair: when the shared pipe frees up (dense
+    /// `from * n + to`; `ZERO` = never used).
+    pipe_free_at: Vec<SimTime>,
+    /// Accounting: dense `(from * n + to) * 3 + class` cells.
+    accounts: Vec<TrafficCell>,
+}
+
+const N_CLASSES: usize = 3;
+
+#[inline]
+fn class_index(class: MessageClass) -> usize {
+    match class {
+        MessageClass::App => 0,
+        MessageClass::Protocol => 1,
+        MessageClass::Ack => 2,
+    }
 }
 
 impl Network {
     /// A network over `topology` with the default (unlimited) contention.
     pub fn new(topology: Topology) -> Self {
+        let n = topology.num_clusters();
         Network {
             topology,
             contention: ContentionModel::default(),
-            channel_last_arrival: HashMap::new(),
-            pipe_free_at: HashMap::new(),
-            accounts: HashMap::new(),
+            n_clusters: n,
+            channel_last_arrival: FastHashMap::default(),
+            pipe_free_at: vec![SimTime::ZERO; n * n],
+            accounts: vec![TrafficCell::default(); n * n * N_CLASSES],
         }
+    }
+
+    #[inline]
+    fn account_index(&self, from: ClusterId, to: ClusterId, class: MessageClass) -> usize {
+        (from.index() * self.n_clusters + to.index()) * N_CLASSES + class_index(class)
     }
 
     /// Select the contention model.
@@ -100,10 +126,8 @@ impl Network {
         let depart = match self.contention {
             ContentionModel::Unlimited => now,
             ContentionModel::InterClusterFifo if from.cluster != to.cluster => {
-                let pipe = self
-                    .pipe_free_at
-                    .entry((from.cluster, to.cluster))
-                    .or_insert(SimTime::ZERO);
+                let pipe =
+                    &mut self.pipe_free_at[from.cluster.index() * self.n_clusters + to.cluster.index()];
                 let depart = (*pipe).max(now);
                 *pipe = depart.saturating_add(transmit);
                 depart
@@ -129,22 +153,22 @@ impl Network {
             arrival = now.saturating_add(SimDuration::from_nanos(1));
         }
 
-        let cell = self
-            .accounts
-            .entry((from.cluster, to.cluster, class))
-            .or_default();
+        let idx = self.account_index(from.cluster, to.cluster, class);
+        let cell = &mut self.accounts[idx];
         cell.messages += 1;
         cell.bytes += bytes;
 
         arrival
     }
 
-    /// Traffic charged to a `(from, to, class)` account.
+    /// Traffic charged to a `(from, to, class)` account. Out-of-range
+    /// cluster ids report zero traffic (the function is total, as before
+    /// the dense-array rewrite).
     pub fn traffic(&self, from: ClusterId, to: ClusterId, class: MessageClass) -> TrafficCell {
-        self.accounts
-            .get(&(from, to, class))
-            .copied()
-            .unwrap_or_default()
+        if from.index() >= self.n_clusters || to.index() >= self.n_clusters {
+            return TrafficCell::default();
+        }
+        self.accounts[self.account_index(from, to, class)]
     }
 
     /// All application messages from `from` to `to` (the Table 1 cells).
@@ -157,30 +181,30 @@ impl Network {
         self.total_by_class(MessageClass::Protocol)
     }
 
+    /// Every `(from, to)` account cell of one class, row-major.
+    fn cells_of_class(&self, class: MessageClass) -> impl Iterator<Item = (usize, usize, &TrafficCell)> {
+        let n = self.n_clusters;
+        let k = class_index(class);
+        (0..n).flat_map(move |f| {
+            (0..n).map(move |t| (f, t, &self.accounts[(f * n + t) * N_CLASSES + k]))
+        })
+    }
+
     /// Total messages of one class across all accounts.
     pub fn total_by_class(&self, class: MessageClass) -> u64 {
-        self.accounts
-            .iter()
-            .filter(|((_, _, c), _)| *c == class)
-            .map(|(_, cell)| cell.messages)
-            .sum()
+        self.cells_of_class(class).map(|(_, _, c)| c.messages).sum()
     }
 
     /// Total bytes of one class across all accounts.
     pub fn total_bytes_by_class(&self, class: MessageClass) -> u64 {
-        self.accounts
-            .iter()
-            .filter(|((_, _, c), _)| *c == class)
-            .map(|(_, cell)| cell.bytes)
-            .sum()
+        self.cells_of_class(class).map(|(_, _, c)| c.bytes).sum()
     }
 
     /// Inter-cluster messages of one class (excludes intra-cluster traffic).
     pub fn inter_cluster_by_class(&self, class: MessageClass) -> u64 {
-        self.accounts
-            .iter()
-            .filter(|((f, t, c), _)| *c == class && f != t)
-            .map(|(_, cell)| cell.messages)
+        self.cells_of_class(class)
+            .filter(|(f, t, _)| f != t)
+            .map(|(_, _, c)| c.messages)
             .sum()
     }
 }
@@ -324,6 +348,16 @@ mod tests {
             MessageClass::App,
         );
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn traffic_is_total_over_cluster_ids() {
+        let n = net();
+        assert_eq!(
+            n.traffic(ClusterId(9), ClusterId(0), MessageClass::App),
+            TrafficCell::default(),
+            "out-of-range ids report zero traffic, not a panic"
+        );
     }
 
     #[test]

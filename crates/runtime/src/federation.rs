@@ -15,9 +15,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use desim::SimTime;
-use hc3i_core::{AppPayload, Input, NodeEngine, Output, ProtocolConfig};
+use hc3i_core::{AppPayload, Input, NodeEngine, Output, OutputBuf, ProtocolConfig};
 use netsim::NodeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -88,6 +88,13 @@ struct NodeThread {
     clc_delay: Option<Duration>,
     clc_deadline: Option<Instant>,
     app: Option<Box<dyn Application>>,
+    /// Reusable sink the engine emits into (same API the simulator
+    /// drives, so both substrates run byte-identical engine code with no
+    /// per-input allocation).
+    buf: OutputBuf,
+    /// Reusable dispatch queue: outputs under processing, including
+    /// follow-ups emitted by `AppStateUpdate` re-entries.
+    work: VecDeque<Output>,
 }
 
 impl NodeThread {
@@ -104,8 +111,9 @@ impl NodeThread {
                         Ok(env) => env,
                         Err(RecvTimeoutError::Timeout) => {
                             self.clc_deadline = None;
-                            let outs = self.engine.handle(self.now(), Input::ClcTimer);
-                            self.dispatch(outs);
+                            let now = self.now();
+                            self.engine.handle(now, Input::ClcTimer, &mut self.buf);
+                            self.dispatch();
                             // If no commit re-armed it (e.g. we are not the
                             // coordinator), re-arm manually.
                             if self.clc_deadline.is_none() {
@@ -141,15 +149,19 @@ impl NodeThread {
                 }
                 Envelope::Shutdown => break,
             };
-            let outs = self.engine.handle(self.now(), input);
-            self.dispatch(outs);
+            let now = self.now();
+            self.engine.handle(now, input, &mut self.buf);
+            self.dispatch();
         }
         (self.engine, self.app)
     }
 
-    fn dispatch(&mut self, outs: Vec<Output>) {
-        let mut queue: std::collections::VecDeque<Output> = outs.into();
-        while let Some(out) = queue.pop_front() {
+    /// Perform everything the engine just emitted into `self.buf`. The
+    /// buffer and the work queue are reused across inputs.
+    fn dispatch(&mut self) {
+        debug_assert!(self.work.is_empty());
+        self.work.extend(self.buf.drain());
+        while let Some(out) = self.work.pop_front() {
             match out {
                 Output::Send { to, msg } => {
                     // A vanished route only happens at shutdown; drop then.
@@ -161,10 +173,10 @@ impl NodeThread {
                     if let Some(app) = self.app.as_mut() {
                         app.on_deliver(from, payload);
                         let snap = app.snapshot();
-                        let more = self
-                            .engine
-                            .handle(self.now(), Input::AppStateUpdate { state: snap });
-                        queue.extend(more);
+                        let now = SimTime(self.epoch.elapsed().as_nanos() as u64);
+                        self.engine
+                            .handle(now, Input::AppStateUpdate { state: snap }, &mut self.buf);
+                        self.work.extend(self.buf.drain());
                     }
                     let _ = self.events.send(RtEvent::Delivered {
                         to: self.id,
@@ -257,6 +269,8 @@ impl Federation {
                 clc_deadline: cfg.clc_delays[id.cluster.index()]
                     .map(|d| Instant::now() + d),
                 app: cfg.app_factory.as_ref().map(|f| f(id)),
+                buf: OutputBuf::new(),
+                work: VecDeque::new(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("hc3i-{id}"))
@@ -362,6 +376,53 @@ impl Federation {
     /// Drain any already-available events without blocking.
     pub fn drain_events(&self) -> Vec<RtEvent> {
         self.events_rx.try_iter().collect()
+    }
+
+    /// Flush in-flight traffic with a ping barrier.
+    ///
+    /// Mailboxes are per-sender FIFO, so one round of pings guarantees
+    /// every node has processed everything that was in its mailbox before
+    /// the round started; `rounds` consecutive barriers therefore flush
+    /// protocol chains up to `rounds` hops deep (send → deliver → ack is
+    /// 2 hops; an alert cascade with log replay is ~4). Call this before
+    /// [`Federation::shutdown`] when final engine states must reflect all
+    /// consequences of previously injected inputs — otherwise a message
+    /// still in flight races the `Shutdown` envelope.
+    ///
+    /// Returns the number of nodes that answered the final round
+    /// (fail-stopped nodes stay silent, so a fully healthy federation
+    /// answers with its total node count).
+    pub fn quiesce(&self, rounds: usize, timeout: Duration) -> usize {
+        let mut answered = 0;
+        for _ in 0..rounds.max(1) {
+            let (reply_tx, reply_rx) = channel::unbounded();
+            let mut sent = 0usize;
+            for tx in self.routes.values() {
+                if tx
+                    .send(Envelope::Ping {
+                        seq: 0,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_ok()
+                {
+                    sent += 1;
+                }
+            }
+            drop(reply_tx);
+            let deadline = Instant::now() + timeout;
+            answered = 0;
+            while answered < sent {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match reply_rx.recv_timeout(remaining) {
+                    Ok(_) => answered += 1,
+                    Err(_) => break,
+                }
+            }
+        }
+        answered
     }
 
     /// Stop every node and return the final engines, keyed by node.

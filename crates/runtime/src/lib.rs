@@ -5,9 +5,11 @@
 //! one OS thread per node, unbounded crossbeam-channel mailboxes (reliable,
 //! FIFO per sender — the paper's network assumptions), wall-clock CLC
 //! timers, and controller-driven fault injection. It drives the *same*
-//! [`hc3i_core::NodeEngine`] the discrete-event simulator uses, so the
-//! protocol logic validated by simulation is exercised unchanged on a real
-//! concurrent transport.
+//! [`hc3i_core::NodeEngine`] the discrete-event simulator uses — through
+//! the same reusable `OutputBuf` sink API — so the protocol logic
+//! validated by simulation is exercised unchanged, allocation-free, on a
+//! real concurrent transport. [`Federation::quiesce`] provides a ping
+//! barrier for tests that must observe fully settled engine states.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,90 @@
+//! Threaded-runtime stress test (ROADMAP open item): hundreds of node
+//! threads with autonomous heartbeat detection, to smoke out mailbox and
+//! detector bottlenecks ahead of any async-transport refactor.
+//!
+//! Ignored by default — run with:
+//!
+//! ```text
+//! cargo test -p runtime --test stress -- --ignored --nocapture
+//! ```
+
+use hc3i_core::{AppPayload, SeqNum};
+use netsim::NodeId;
+use runtime::{Federation, HeartbeatConfig, RtEvent, RuntimeConfig};
+use std::time::{Duration, Instant};
+
+const CLUSTERS: usize = 4;
+const NODES_PER_CLUSTER: u32 = 64; // 256 node threads + 4 detector threads
+const WAVE: u64 = 512;
+
+fn n(c: u16, r: u32) -> NodeId {
+    NodeId::new(c, r)
+}
+
+/// Send `count` messages ring-wise across clusters starting at `tag0`;
+/// wait until every one is delivered.
+fn traffic_wave(fed: &Federation, tag0: u64, count: u64) {
+    let mut expected = std::collections::HashSet::new();
+    for k in 0..count {
+        let tag = tag0 + k;
+        let c = (k as usize % CLUSTERS) as u16;
+        let r = (k as u32 / 7) % NODES_PER_CLUSTER;
+        let to_c = ((c as usize + 1) % CLUSTERS) as u16;
+        let to_r = (r + 3) % NODES_PER_CLUSTER;
+        expected.insert(tag);
+        fed.send_app(n(c, r), n(to_c, to_r), AppPayload { bytes: 256, tag });
+    }
+    let seen = fed
+        .wait_for(Duration::from_secs(60), |e| {
+            if let RtEvent::Delivered { payload, .. } = e {
+                expected.remove(&payload.tag);
+            }
+            expected.is_empty()
+        })
+        .expect("every message of the wave must be delivered");
+    assert!(!seen.is_empty());
+}
+
+#[test]
+#[ignore = "stress scale: 256 node threads; run explicitly"]
+fn hundreds_of_nodes_with_heartbeat_recover_from_faults() {
+    let t0 = Instant::now();
+    let cfg = RuntimeConfig::manual(vec![NODES_PER_CLUSTER; CLUSTERS])
+        .with_heartbeat(HeartbeatConfig::default());
+    let fed = Federation::spawn(cfg);
+
+    // Wave 1: saturate the mailboxes with cross-cluster traffic (forces
+    // CLCs in every cluster via the CIC rule).
+    traffic_wave(&fed, 0, WAVE);
+
+    // Fail-stop one node and let the *heartbeat detector* find it — no
+    // controller-driven detection here.
+    let victim = n(2, 10);
+    fed.fail(victim);
+    fed.wait_for(Duration::from_secs(30), |e| {
+        matches!(e, RtEvent::RolledBack { node, .. } if *node == victim)
+    })
+    .expect("heartbeat detection must roll the cluster back and revive the victim");
+
+    // Wave 2: the federation still works end-to-end after recovery.
+    traffic_wave(&fed, WAVE, WAVE);
+
+    // Flush in-flight acks, then check cluster coherence at shutdown.
+    let answered = fed.quiesce(4, Duration::from_secs(30));
+    assert_eq!(answered, CLUSTERS * NODES_PER_CLUSTER as usize);
+    let engines = fed.shutdown();
+    for c in 0..CLUSTERS as u16 {
+        let sn0 = engines[&n(c, 0)].sn();
+        assert!(sn0 >= SeqNum(2), "cluster {c} never checkpointed");
+        for r in 1..NODES_PER_CLUSTER {
+            assert_eq!(engines[&n(c, r)].sn(), sn0, "cluster {c} incoherent");
+            assert_eq!(engines[&n(c, r)].late_crossings(), 0);
+        }
+    }
+    eprintln!(
+        "stress: {} nodes, {} messages, 1 autonomous recovery in {:.1?}",
+        CLUSTERS * NODES_PER_CLUSTER as usize,
+        2 * WAVE,
+        t0.elapsed()
+    );
+}

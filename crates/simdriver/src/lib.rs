@@ -5,6 +5,17 @@
 //! discrete-event executive (`desim`), fed by `workload` schedules, with
 //! scripted or MTBF-driven fail-stop faults, and produce a [`RunReport`]
 //! with the statistics the paper's evaluation section reports.
+//!
+//! The event hot path is allocation-free: engines live in a flat arena
+//! indexed by precomputed cluster offsets, outputs drain through one
+//! reusable `OutputBuf`, and per-event trace formatting is gated behind
+//! the configured trace level.
+//!
+//! **Determinism contract:** a run is a pure function of its
+//! [`SimConfig`] (including the seed) — same config ⇒ bit-identical
+//! [`RunReport`], across runs and machines. Refactors must preserve this;
+//! `cargo run -p hc3i-bench --bin hc3i_baselines -- --fingerprint` captures a
+//! reference dump to diff against.
 
 #![warn(missing_docs)]
 

@@ -2,8 +2,8 @@
 
 use crate::config::SimConfig;
 use crate::report::{ClusterStats, RunReport};
-use desim::{Ctx, EventKey, SimTime, Tracer, World};
-use hc3i_core::{Input, Msg, NodeEngine, Output};
+use desim::{Ctx, EventKey, SimTime, TraceLevel, Tracer, World};
+use hc3i_core::{Input, Msg, NodeEngine, Output, OutputBuf};
 use netsim::{Network, NodeId};
 
 /// Events of the federation world.
@@ -53,26 +53,43 @@ pub enum Ev {
 }
 
 /// The federation: engines + network + statistics.
+///
+/// Engines live in one flat arena indexed by precomputed per-cluster
+/// offsets (`NodeId → offsets[cluster] + rank`), so the per-event dispatch
+/// is a single bounds-checked index instead of a nested `Vec<Vec<_>>`
+/// double indirection; engine outputs are drained through one reusable
+/// [`OutputBuf`], so dispatching an event allocates nothing.
 pub struct FederationWorld {
     pub(crate) cfg: SimConfig,
-    pub(crate) engines: Vec<Vec<NodeEngine>>,
+    /// All engines, cluster-major (cluster 0's ranks, then cluster 1's…).
+    pub(crate) engines: Vec<NodeEngine>,
+    /// `offsets[c]` = arena index of cluster `c`'s rank 0; `offsets[n]` =
+    /// total node count.
+    pub(crate) offsets: Vec<usize>,
     pub(crate) net: Network,
     pub(crate) clc_timer_keys: Vec<Option<EventKey>>,
     pub(crate) stats: RunReport,
     pub(crate) tracer: Tracer,
+    /// Reusable engine-output buffer threaded through `handle_engine`.
+    out_buf: OutputBuf,
 }
 
 impl FederationWorld {
     /// Build the world (engines initialized, nothing scheduled yet).
     pub fn new(cfg: SimConfig) -> Self {
         let n = cfg.topology.num_clusters();
-        let engines = (0..n)
-            .map(|c| {
-                (0..cfg.topology.nodes_in(netsim::ClusterId(c as u16)))
-                    .map(|r| NodeEngine::new(cfg.protocol.clone(), NodeId::new(c as u16, r)))
-                    .collect()
-            })
-            .collect();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut engines = Vec::new();
+        let mut total = 0usize;
+        for c in 0..n {
+            offsets.push(total);
+            let nodes = cfg.topology.nodes_in(netsim::ClusterId(c as u16));
+            for r in 0..nodes {
+                engines.push(NodeEngine::new(cfg.protocol.clone(), NodeId::new(c as u16, r)));
+            }
+            total += nodes as usize;
+        }
+        offsets.push(total);
         let net = Network::new(cfg.topology.clone()).with_contention(cfg.contention);
         let stats = RunReport {
             clusters: vec![ClusterStats::default(); n],
@@ -83,10 +100,12 @@ impl FederationWorld {
         FederationWorld {
             cfg,
             engines,
+            offsets,
             net,
             clc_timer_keys: vec![None; n],
             stats,
             tracer,
+            out_buf: OutputBuf::new(),
         }
     }
 
@@ -95,27 +114,42 @@ impl FederationWorld {
         &self.tracer
     }
 
+    /// Arena index of `id`.
+    #[inline]
+    fn engine_index(&self, id: NodeId) -> usize {
+        self.offsets[id.cluster.index()] + id.rank as usize
+    }
+
     /// Access an engine (tests, report finalization).
     pub fn engine(&self, id: NodeId) -> &NodeEngine {
-        &self.engines[id.cluster.index()][id.rank as usize]
+        &self.engines[self.engine_index(id)]
+    }
+
+    /// The engines of one cluster, rank order.
+    fn cluster_engines(&self, cluster: usize) -> &[NodeEngine] {
+        &self.engines[self.offsets[cluster]..self.offsets[cluster + 1]]
     }
 
     fn handle_engine(&mut self, ctx: &mut Ctx<'_, Ev>, node: NodeId, input: Input) {
-        let outs = self.engines[node.cluster.index()][node.rank as usize]
-            .handle(ctx.now(), input);
-        self.absorb(ctx, node, outs);
+        let idx = self.engine_index(node);
+        let mut buf = std::mem::take(&mut self.out_buf);
+        self.engines[idx].handle(ctx.now(), input, &mut buf);
+        self.absorb(ctx, node, &mut buf);
+        self.out_buf = buf;
     }
 
-    fn absorb(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, outs: Vec<Output>) {
-        for out in outs {
+    fn absorb(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, outs: &mut OutputBuf) {
+        for out in outs.drain() {
             match out {
                 Output::Send { to, msg } => {
                     let bytes = msg.wire_bytes(&self.cfg.protocol);
                     let class = msg.class();
                     let arrival = self.net.send(ctx.now(), source, to, bytes, class);
-                    self.tracer.full(ctx.now(), "net", || {
-                        format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
-                    });
+                    if self.tracer.enabled(TraceLevel::Full) {
+                        self.tracer.full(ctx.now(), "net", || {
+                            format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
+                        });
+                    }
                     ctx.schedule_at(
                         arrival,
                         Ev::Deliver {
@@ -127,18 +161,22 @@ impl FederationWorld {
                 }
                 Output::DeliverApp { from, payload } => {
                     self.stats.app_delivered += 1;
-                    self.tracer.full(ctx.now(), "app", || {
-                        format!("{source} delivered tag {} from {from}", payload.tag)
-                    });
+                    if self.tracer.enabled(TraceLevel::Full) {
+                        self.tracer.full(ctx.now(), "app", || {
+                            format!("{source} delivered tag {} from {from}", payload.tag)
+                        });
+                    }
                 }
                 Output::Committed { sn, forced } => {
                     let cluster = source.cluster.index();
-                    self.tracer.protocol(ctx.now(), "clc", || {
-                        format!(
-                            "cluster {cluster} committed CLC {sn}{}",
-                            if forced { " (forced)" } else { "" }
-                        )
-                    });
+                    if self.tracer.enabled(TraceLevel::Protocol) {
+                        self.tracer.protocol(ctx.now(), "clc", || {
+                            format!(
+                                "cluster {cluster} committed CLC {sn}{}",
+                                if forced { " (forced)" } else { "" }
+                            )
+                        });
+                    }
                     let c = &mut self.stats.clusters[cluster];
                     if forced {
                         c.forced_clcs += 1;
@@ -162,16 +200,15 @@ impl FederationWorld {
                     discarded_clcs,
                 } => {
                     if source.rank == 0 {
-                        self.tracer.protocol(ctx.now(), "rollback", || {
-                            format!(
-                                "cluster {} restored CLC {restore_sn} ({discarded_clcs} discarded)",
-                                source.cluster.index()
-                            )
-                        });
-                    }
-                    if source.rank == 0 {
                         let cluster = source.cluster.index();
-                        let committed_at = self.engines[cluster][0]
+                        if self.tracer.enabled(TraceLevel::Protocol) {
+                            self.tracer.protocol(ctx.now(), "rollback", || {
+                                format!(
+                                    "cluster {cluster} restored CLC {restore_sn} ({discarded_clcs} discarded)"
+                                )
+                            });
+                        }
+                        let committed_at = self.engines[self.offsets[cluster]]
                             .store()
                             .get(restore_sn)
                             .map(|e| e.meta.committed_at)
@@ -184,12 +221,14 @@ impl FederationWorld {
                     }
                 }
                 Output::GcReport { before, after } => {
-                    self.tracer.protocol(ctx.now(), "gc", || {
-                        format!(
-                            "cluster {} pruned {before} -> {after} CLCs",
-                            source.cluster.index()
-                        )
-                    });
+                    if self.tracer.enabled(TraceLevel::Protocol) {
+                        self.tracer.protocol(ctx.now(), "gc", || {
+                            format!(
+                                "cluster {} pruned {before} -> {after} CLCs",
+                                source.cluster.index()
+                            )
+                        });
+                    }
                     self.stats.clusters[source.cluster.index()]
                         .gc_before_after
                         .push((before, after));
@@ -209,7 +248,7 @@ impl FederationWorld {
 
     /// Lowest surviving rank in a cluster (the detector's report target).
     fn recovery_coordinator(&self, cluster: usize) -> Option<u32> {
-        self.engines[cluster]
+        self.cluster_engines(cluster)
             .iter()
             .position(|e| !e.is_failed())
             .map(|r| r as u32)
@@ -219,18 +258,13 @@ impl FederationWorld {
     pub(crate) fn finalize(&mut self, now: SimTime, events: u64) -> RunReport {
         let n = self.cfg.topology.num_clusters();
         for c in 0..n {
-            let coord = &self.engines[c][0];
+            let engines = &self.engines[self.offsets[c]..self.offsets[c + 1]];
+            let coord = &engines[0];
             let stats = &mut self.stats.clusters[c];
             stats.stored_clcs = coord.store().len();
             stats.peak_stored_clcs = coord.store().peak();
-            stats.logged_messages = self.engines[c]
-                .iter()
-                .map(|e| e.log().len() as u64)
-                .sum();
-            stats.peak_logged_messages = self.engines[c]
-                .iter()
-                .map(|e| e.log().peak() as u64)
-                .sum();
+            stats.logged_messages = engines.iter().map(|e| e.log().len() as u64).sum();
+            stats.peak_logged_messages = engines.iter().map(|e| e.log().peak() as u64).sum();
         }
         for i in 0..n {
             for j in 0..n {
@@ -316,7 +350,7 @@ impl World for FederationWorld {
             } => {
                 // Skip stale detections (the node was already revived by an
                 // earlier rollback).
-                if !self.engines[cluster][failed_rank as usize].is_failed() {
+                if !self.cluster_engines(cluster)[failed_rank as usize].is_failed() {
                     return;
                 }
                 let Some(rank) = self.recovery_coordinator(cluster) else {

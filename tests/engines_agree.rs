@@ -57,6 +57,11 @@ fn run_instant(steps: &[Step]) -> InstantFederation {
 fn run_threaded(steps: &[Step]) -> std::collections::HashMap<NodeId, hc3i::core::NodeEngine> {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 3]));
     for s in steps {
+        // The instant federation runs each step to quiescence; mirror that
+        // with a ping barrier so in-flight acks/alert consequences from the
+        // previous step cannot race this step's inputs (4 rounds cover the
+        // deepest chain: alert → local scan → replay → re-delivery → ack).
+        assert_eq!(fed.quiesce(4, TICK), 6, "all six nodes answer the barrier");
         match *s {
             Step::Send(from, to, tag) => {
                 fed.send_app(from, to, AppPayload { bytes: 512, tag });
@@ -94,6 +99,10 @@ fn run_threaded(steps: &[Step]) -> std::collections::HashMap<NodeId, hc3i::core:
             }
         }
     }
+    // Flush in-flight acks/alert consequences before freezing the final
+    // engine states: without the barrier a message still on the wire races
+    // the Shutdown envelope and the cross-check flakes.
+    assert_eq!(fed.quiesce(4, TICK), 6, "all six nodes answer the barrier");
     fed.shutdown()
 }
 
