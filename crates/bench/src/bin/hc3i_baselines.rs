@@ -122,6 +122,40 @@ fn ring_config(n: usize, nodes: u32, hours: u64, seed: u64) -> SimConfig {
     cfg
 }
 
+/// End-to-end threaded-runtime throughput: a 64-node federation on the
+/// default shard pool, one ring-wise wave of `msgs` messages, every
+/// delivery awaited. Includes pool spawn and shutdown, so the entry
+/// tracks the whole federation lifecycle the runtime promises ("events"
+/// is the message count; events/s is messages per second).
+fn runtime_wave(msgs: u64) -> u64 {
+    use runtime::{Federation, RtEvent, RuntimeConfig};
+    const CLUSTERS: usize = 4;
+    const PER_CLUSTER: u32 = 16;
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![PER_CLUSTER; CLUSTERS]));
+    let mut expected = std::collections::HashSet::new();
+    for k in 0..msgs {
+        let c = (k as usize % CLUSTERS) as u16;
+        let r = (k as u32 / 7) % PER_CLUSTER;
+        let to_c = ((c as usize + 1) % CLUSTERS) as u16;
+        let to_r = (r + 3) % PER_CLUSTER;
+        expected.insert(k);
+        fed.send_app(
+            NodeId::new(c, r),
+            NodeId::new(to_c, to_r),
+            hc3i_core::AppPayload { bytes: 256, tag: k },
+        );
+    }
+    fed.wait_for(std::time::Duration::from_secs(300), |e| {
+        if let RtEvent::Delivered { payload, .. } = e {
+            expected.remove(&payload.tag);
+        }
+        expected.is_empty()
+    })
+    .expect("runtime wave fully delivered");
+    fed.shutdown();
+    msgs
+}
+
 fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
     let reps = if quick { 1 } else { 3 };
     let mut entries = Vec::new();
@@ -174,6 +208,16 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
                 .map(|r| r.events)
                 .sum()
         },
+    ));
+
+    // The live substrate: the sharded executor end-to-end.
+    let wave = if quick { 2_000 } else { 8_000 };
+    eprintln!("timing runtime_throughput ({wave} messages)…");
+    entries.push(entry(
+        "runtime_throughput",
+        "sharded runtime: 64 nodes on the default pool, ring wave end-to-end (msgs, msgs/s)",
+        reps,
+        || runtime_wave(wave),
     ));
 
     // North-star smoke: a 100-cluster federation runs to completion.

@@ -2,7 +2,7 @@
 //!
 //! The protocol engine treats application state as an opaque blob
 //! (paper §2.1: "a process state consists of all the data it needs to be
-//! restarted"). An [`Application`] runs inside each node thread: it
+//! restarted"). An [`Application`] runs inside its node's shard worker: it
 //! observes deliveries, publishes serialized snapshots that the engine
 //! captures into every staged checkpoint, and is restored from the
 //! checkpointed snapshot after a rollback.

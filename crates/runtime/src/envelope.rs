@@ -4,7 +4,7 @@ use crossbeam::channel::Sender;
 use hc3i_core::{AppPayload, Msg, SeqNum};
 use netsim::NodeId;
 
-/// What a node thread can receive in its mailbox.
+/// What a node can receive in its (shard-multiplexed) mailbox.
 #[derive(Debug, Clone)]
 pub enum Envelope {
     /// A protocol message from another node.
@@ -37,15 +37,17 @@ pub enum Envelope {
         /// Failed ranks within this node's cluster.
         failed_ranks: Vec<u32>,
     },
-    /// Liveness probe from the heartbeat detector. A healthy node replies
-    /// `(rank, seq)` on the channel; a fail-stopped node stays silent.
+    /// Liveness probe (the controller's quiesce barrier). A healthy node
+    /// replies `(rank, seq)` on the channel; a fail-stopped node stays
+    /// silent.
     Ping {
         /// Probe sequence number.
         seq: u64,
         /// Where to send the pong.
         reply: Sender<(u32, u64)>,
     },
-    /// Stop the node thread and return its engine.
+    /// Stop the node: its shard drops every later envelope addressed to it
+    /// and returns its engine at join.
     Shutdown,
 }
 

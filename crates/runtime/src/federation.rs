@@ -1,30 +1,50 @@
-//! The threaded message-passing federation.
+//! The sharded message-passing federation.
 //!
-//! One OS thread per node; mailboxes are unbounded crossbeam channels (the
-//! "hand-rolled messaging layer": reliable, per-sender-FIFO — the same
-//! properties the paper assumes of its network). Each thread drives the
-//! *identical* [`NodeEngine`] state machine the discrete-event simulator
-//! uses; only the transport differs. The controller injects application
-//! sends, checkpoints, faults and GC, and observes a stream of
-//! [`RtEvent`]s.
+//! A fixed pool of worker threads — default [`std::thread::available_parallelism`] —
+//! multiplexes every node of the federation: each worker owns a shard of
+//! [`NodeEngine`]s and drains one unbounded crossbeam channel of
+//! `(slot, envelope)` pairs (the "hand-rolled messaging layer": reliable,
+//! per-sender-FIFO — the same properties the paper assumes of its
+//! network). The engines are the *identical* state machines the
+//! discrete-event simulator uses; only the transport differs. The
+//! controller injects application sends, checkpoints, faults and GC, and
+//! observes a stream of [`RtEvent`]s.
+//!
+//! ## Shard-assignment determinism contract
+//!
+//! A node's shard is a pure function of the topology and the pool size:
+//! cluster-major global index (cluster 0's ranks, then cluster 1's, …)
+//! modulo the shard count — the same arena order the simulator uses.
+//! Protocol state is independent of the pool size: the `engines_agree`
+//! integration test and the `runtime_equivalence` property test pin that a
+//! quiesced scenario reaches bit-identical engine states at 1, 2 and 8
+//! shards, and identical to the instant/simulated substrates.
+//!
+//! ## Sizing the pool
+//!
+//! [`RuntimeConfig::with_shards`] overrides the default. More shards than
+//! hardware threads only adds context switching; fewer trades latency for
+//! locality. The pool is clamped to the node count, and thousands of nodes
+//! run fine on a single shard — the executor multiplexes, it never blocks
+//! on a per-node resource.
 
 use crate::app::Application;
-use crate::detector::{spawn_cluster_detector, ClusterDetector, HeartbeatConfig};
+use crate::detector::{ClusterProbe, HeartbeatConfig};
 use crate::envelope::{Envelope, RtEvent};
-use std::sync::atomic::{AtomicBool, Ordering};
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
-use desim::SimTime;
-use hc3i_core::{AppPayload, Input, NodeEngine, Output, OutputBuf, ProtocolConfig};
+use crate::shard::{NodeCell, ShardWorker};
+use crossbeam::channel::{self, Receiver, Sender};
+use hc3i_core::{AppPayload, NodeEngine, ProtocolConfig};
 use netsim::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Factory producing one application instance per node.
 pub type AppFactory = Arc<dyn Fn(NodeId) -> Box<dyn Application> + Send + Sync>;
 
-/// Configuration of a threaded federation.
+/// Configuration of a sharded federation.
 #[derive(Clone)]
 pub struct RuntimeConfig {
     /// Protocol parameters (shared with the simulator).
@@ -34,8 +54,12 @@ pub struct RuntimeConfig {
     pub clc_delays: Vec<Option<Duration>>,
     /// Optional per-node application (checkpointed state).
     pub app_factory: Option<AppFactory>,
-    /// Optional heartbeat failure detection (one detector per cluster).
+    /// Optional heartbeat failure detection (one probe per cluster, run by
+    /// the shard homing the cluster's rank 0).
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Worker-pool size (`None` = `available_parallelism`, clamped to the
+    /// node count).
+    pub shards: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -47,6 +71,7 @@ impl RuntimeConfig {
             clc_delays: vec![None; n],
             app_factory: None,
             heartbeat: None,
+            shards: None,
         }
     }
 
@@ -76,229 +101,199 @@ impl RuntimeConfig {
         self.heartbeat = Some(cfg);
         self
     }
+
+    /// Fix the worker-pool size (default: `available_parallelism`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
 }
 
-struct NodeThread {
-    id: NodeId,
-    engine: NodeEngine,
-    rx: Receiver<Envelope>,
-    routes: HashMap<NodeId, Sender<Envelope>>,
-    events: Sender<RtEvent>,
-    epoch: Instant,
-    clc_delay: Option<Duration>,
-    clc_deadline: Option<Instant>,
-    app: Option<Box<dyn Application>>,
-    /// Reusable sink the engine emits into (same API the simulator
-    /// drives, so both substrates run byte-identical engine code with no
-    /// per-input allocation).
-    buf: OutputBuf,
-    /// Reusable dispatch queue: outputs under processing, including
-    /// follow-ups emitted by `AppStateUpdate` re-entries.
-    work: VecDeque<Output>,
+/// Shared fail-stop health table: one *failure generation* counter per
+/// node in cluster-major global order — even means alive, odd means
+/// fail-stopped. The shard owning a node bumps the counter whenever its
+/// engine's fail-stopped bit actually transitions (not per input, so the
+/// hot path writes nothing in steady state); heartbeat probes read the
+/// counters instead of timing pong round-trips, so detection never
+/// false-positives under load. The generation — not just the parity —
+/// is what probes record per report: a node that is revived by a rollback
+/// and fails again between two probe rounds carries a *new* odd
+/// generation and is re-reported, even though the probe never observed
+/// the alive window (the simulator's `reported` bookkeeping clears on
+/// re-fail the same way).
+pub(crate) struct Health(Vec<AtomicU64>);
+
+impl Health {
+    fn new(total: usize) -> Self {
+        Health((0..total).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// Record one alive↔failed transition.
+    pub(crate) fn bump(&self, gidx: usize) {
+        self.0[gidx].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current failure generation (odd = fail-stopped right now).
+    pub(crate) fn generation(&self, gidx: usize) -> u64 {
+        self.0[gidx].load(Ordering::Acquire)
+    }
+
+    /// Is the generation a fail-stopped one?
+    pub(crate) fn is_failed_generation(generation: u64) -> bool {
+        generation & 1 == 1
+    }
 }
 
-impl NodeThread {
-    fn now(&self) -> SimTime {
-        SimTime(self.epoch.elapsed().as_nanos() as u64)
+/// The routing table: maps a [`NodeId`] to its shard channel and slot.
+/// Shared (via `Arc`) by the controller and every shard worker.
+pub(crate) struct Routes {
+    /// `offsets[c]` = global index of cluster `c`'s rank 0; `offsets[n]` =
+    /// total node count.
+    offsets: Vec<usize>,
+    /// Every node, global (cluster-major) order.
+    ids: Vec<NodeId>,
+    /// Global index → `(shard, slot)`.
+    addr: Vec<(u32, u32)>,
+    shard_txs: Vec<Sender<(u32, Envelope)>>,
+}
+
+impl Routes {
+    pub(crate) fn global_index(&self, id: NodeId) -> usize {
+        self.offsets[id.cluster.index()] + id.rank as usize
     }
 
-    fn run(mut self) -> NodeFinalState {
-        loop {
-            let env = match self.clc_deadline {
-                Some(deadline) => {
-                    let timeout = deadline.saturating_duration_since(Instant::now());
-                    match self.rx.recv_timeout(timeout) {
-                        Ok(env) => env,
-                        Err(RecvTimeoutError::Timeout) => {
-                            self.clc_deadline = None;
-                            let now = self.now();
-                            self.engine.handle(now, Input::ClcTimer, &mut self.buf);
-                            self.dispatch();
-                            // If no commit re-armed it (e.g. we are not the
-                            // coordinator), re-arm manually.
-                            if self.clc_deadline.is_none() {
-                                if let Some(d) = self.clc_delay {
-                                    self.clc_deadline = Some(Instant::now() + d);
-                                }
-                            }
-                            continue;
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-                None => match self.rx.recv() {
-                    Ok(env) => env,
-                    Err(_) => break,
-                },
-            };
-            let input = match env {
-                Envelope::Net { from, msg } => Input::Receive { from, msg },
-                Envelope::AppSend { to, payload } => Input::AppSend { to, payload },
-                Envelope::ClcNow => Input::ClcTimer,
-                Envelope::GcNow => Input::GcTimer,
-                Envelope::Fail => Input::Fail,
-                Envelope::Detect { failed_rank } => Input::DetectFault { failed_rank },
-                Envelope::DetectMulti { failed_ranks } => Input::DetectFaults { failed_ranks },
-                Envelope::Ping { seq, reply } => {
-                    // Liveness is a node-thread property: a fail-stopped
-                    // engine stays silent, everyone else answers.
-                    if !self.engine.is_failed() {
-                        let _ = reply.send((self.id.rank, seq));
-                    }
-                    continue;
-                }
-                Envelope::Shutdown => break,
-            };
-            let now = self.now();
-            self.engine.handle(now, input, &mut self.buf);
-            self.dispatch();
-        }
-        (self.engine, self.app)
+    /// Every node of the federation, cluster-major order.
+    pub(crate) fn ids(&self) -> &[NodeId] {
+        &self.ids
     }
 
-    /// Perform everything the engine just emitted into `self.buf`. The
-    /// buffer and the work queue are reused across inputs.
-    fn dispatch(&mut self) {
-        debug_assert!(self.work.is_empty());
-        self.work.extend(self.buf.drain());
-        while let Some(out) = self.work.pop_front() {
-            match out {
-                Output::Send { to, msg } => {
-                    // A vanished route only happens at shutdown; drop then.
-                    if let Some(tx) = self.routes.get(&to) {
-                        let _ = tx.send(Envelope::Net { from: self.id, msg });
-                    }
-                }
-                Output::DeliverApp { from, payload } => {
-                    if let Some(app) = self.app.as_mut() {
-                        app.on_deliver(from, payload);
-                        let snap = app.snapshot();
-                        let now = SimTime(self.epoch.elapsed().as_nanos() as u64);
-                        self.engine
-                            .handle(now, Input::AppStateUpdate { state: snap }, &mut self.buf);
-                        self.work.extend(self.buf.drain());
-                    }
-                    let _ = self.events.send(RtEvent::Delivered {
-                        to: self.id,
-                        from,
-                        payload,
-                    });
-                }
-                Output::Committed { sn, forced } => {
-                    let _ = self.events.send(RtEvent::Committed {
-                        cluster: self.id.cluster.index(),
-                        sn,
-                        forced,
-                    });
-                }
-                Output::ResetClcTimer => {
-                    if let Some(d) = self.clc_delay {
-                        self.clc_deadline = Some(Instant::now() + d);
-                    }
-                }
-                Output::RolledBack { restore_sn, .. } => {
-                    let _ = self.events.send(RtEvent::RolledBack {
-                        node: self.id,
-                        restore_sn,
-                    });
-                }
-                Output::GcReport { before, after } => {
-                    let _ = self.events.send(RtEvent::GcReport {
-                        cluster: self.id.cluster.index(),
-                        before,
-                        after,
-                    });
-                }
-                Output::Unrecoverable { failed_rank } => {
-                    let _ = self.events.send(RtEvent::Unrecoverable {
-                        cluster: self.id.cluster.index(),
-                        rank: failed_rank,
-                    });
-                }
-                Output::LateCrossing { .. } => {
-                    let _ = self.events.send(RtEvent::LateCrossing { node: self.id });
-                }
-                Output::RestoreApp { state } => {
-                    if let Some(app) = self.app.as_mut() {
-                        app.restore(state.as_deref());
-                    }
-                }
-            }
-        }
+    /// Route an envelope to `to`'s shard. Fails only once the shard worker
+    /// has exited (shutdown).
+    pub(crate) fn send(&self, to: NodeId, env: Envelope) -> Result<(), ()> {
+        let (shard, slot) = self.addr[self.global_index(to)];
+        self.shard_txs[shard as usize]
+            .send((slot, env))
+            .map_err(|_| ())
     }
 }
 
 /// Final per-node state returned by [`Federation::shutdown_with_apps`].
 pub type NodeFinalState = (NodeEngine, Option<Box<dyn Application>>);
 
-/// A running threaded federation.
+/// A running sharded federation.
 pub struct Federation {
-    routes: HashMap<NodeId, Sender<Envelope>>,
-    handles: Vec<(NodeId, JoinHandle<NodeFinalState>)>,
+    routes: Arc<Routes>,
+    handles: Vec<JoinHandle<Vec<(NodeId, NodeFinalState)>>>,
     events_rx: Receiver<RtEvent>,
     cfg: RuntimeConfig,
-    detector_stop: Arc<AtomicBool>,
-    detectors: Vec<ClusterDetector>,
+    num_shards: usize,
 }
 
 impl Federation {
-    /// Spawn one thread per node and connect all mailboxes.
+    /// Spawn the worker pool and connect all shard channels.
     pub fn spawn(cfg: RuntimeConfig) -> Self {
         let epoch = Instant::now();
-        let (events_tx, events_rx) = channel::unbounded();
-        let mut routes = HashMap::new();
-        let mut mailboxes = Vec::new();
-        for c in 0..cfg.protocol.num_clusters() {
-            for r in 0..cfg.protocol.nodes_in(c) {
-                let id = NodeId::new(c as u16, r);
-                let (tx, rx) = channel::unbounded();
-                routes.insert(id, tx);
-                mailboxes.push((id, rx));
+        let n_clusters = cfg.protocol.num_clusters();
+        let mut offsets = Vec::with_capacity(n_clusters + 1);
+        let mut ids = Vec::new();
+        let mut total = 0usize;
+        for c in 0..n_clusters {
+            offsets.push(total);
+            let nodes = cfg.protocol.nodes_in(c);
+            for r in 0..nodes {
+                ids.push(NodeId::new(c as u16, r));
             }
+            total += nodes as usize;
         }
-        let mut handles = Vec::new();
-        for (id, rx) in mailboxes {
-            let node = NodeThread {
+        offsets.push(total);
+
+        let num_shards = cfg
+            .shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, total.max(1));
+
+        let mut shard_txs = Vec::with_capacity(num_shards);
+        let mut shard_rxs = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = channel::unbounded();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+
+        // Deterministic assignment: global index `g` lives on shard
+        // `g % num_shards` at slot `g / num_shards`.
+        let health = Arc::new(Health::new(total));
+        let mut addr = Vec::with_capacity(total);
+        let mut cells: Vec<Vec<NodeCell>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for (g, &id) in ids.iter().enumerate() {
+            let shard = g % num_shards;
+            addr.push((shard as u32, cells[shard].len() as u32));
+            let delay = cfg.clc_delays[id.cluster.index()];
+            cells[shard].push(NodeCell {
                 id,
+                gidx: g,
                 engine: NodeEngine::new(cfg.protocol.clone(), id),
-                rx,
-                routes: routes.clone(),
-                events: events_tx.clone(),
-                epoch,
-                clc_delay: cfg.clc_delays[id.cluster.index()],
-                clc_deadline: cfg.clc_delays[id.cluster.index()]
-                    .map(|d| Instant::now() + d),
                 app: cfg.app_factory.as_ref().map(|f| f(id)),
-                buf: OutputBuf::new(),
-                work: VecDeque::new(),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("hc3i-{id}"))
-                .spawn(move || node.run())
-                .expect("spawn node thread");
-            handles.push((id, handle));
+                clc_delay: delay,
+                clc_deadline: delay.map(|d| Instant::now() + d),
+                published_failed: false,
+                stopped: false,
+            });
         }
-        let detector_stop = Arc::new(AtomicBool::new(false));
-        let mut detectors = Vec::new();
+        let routes = Arc::new(Routes {
+            offsets: offsets.clone(),
+            ids,
+            addr,
+            shard_txs,
+        });
+
+        // Each cluster's probe is homed on the shard owning its rank 0.
+        let mut probes: Vec<Vec<ClusterProbe>> = (0..num_shards).map(|_| Vec::new()).collect();
         if let Some(hb) = cfg.heartbeat {
-            for c in 0..cfg.protocol.num_clusters() {
-                let ranks: Vec<u32> = (0..cfg.protocol.nodes_in(c)).collect();
-                detectors.push(spawn_cluster_detector(
+            for (c, &base) in offsets.iter().take(n_clusters).enumerate() {
+                probes[base % num_shards].push(ClusterProbe::new(
                     c as u16,
-                    ranks,
-                    routes.clone(),
+                    (0..cfg.protocol.nodes_in(c)).collect(),
+                    base,
                     hb,
-                    detector_stop.clone(),
+                    Instant::now(),
                 ));
             }
         }
+
+        let (events_tx, events_rx) = channel::unbounded();
+        let handles = shard_rxs
+            .into_iter()
+            .zip(cells)
+            .zip(probes)
+            .enumerate()
+            .map(|(s, ((rx, nodes), shard_probes))| {
+                let worker = ShardWorker::new(
+                    nodes,
+                    rx,
+                    routes.clone(),
+                    health.clone(),
+                    events_tx.clone(),
+                    epoch,
+                    shard_probes,
+                );
+                std::thread::Builder::new()
+                    .name(format!("hc3i-shard-{s}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
         Federation {
             routes,
             handles,
             events_rx,
             cfg,
-            detector_stop,
-            detectors,
+            num_shards,
         }
     }
 
@@ -307,12 +302,13 @@ impl Federation {
         &self.cfg
     }
 
+    /// The worker-pool size actually in use.
+    pub fn shards(&self) -> usize {
+        self.num_shards
+    }
+
     fn route(&self, to: NodeId, env: Envelope) {
-        self.routes
-            .get(&to)
-            .expect("unknown node")
-            .send(env)
-            .expect("node thread alive");
+        self.routes.send(to, env).expect("shard worker alive");
     }
 
     /// Application send.
@@ -380,9 +376,9 @@ impl Federation {
 
     /// Flush in-flight traffic with a ping barrier.
     ///
-    /// Mailboxes are per-sender FIFO, so one round of pings guarantees
-    /// every node has processed everything that was in its mailbox before
-    /// the round started; `rounds` consecutive barriers therefore flush
+    /// Shard channels are FIFO, so one round of pings guarantees every
+    /// node has processed everything that was routed to it before the
+    /// round started; `rounds` consecutive barriers therefore flush
     /// protocol chains up to `rounds` hops deep (send → deliver → ack is
     /// 2 hops; an alert cascade with log replay is ~4). Call this before
     /// [`Federation::shutdown`] when final engine states must reflect all
@@ -397,12 +393,16 @@ impl Federation {
         for _ in 0..rounds.max(1) {
             let (reply_tx, reply_rx) = channel::unbounded();
             let mut sent = 0usize;
-            for tx in self.routes.values() {
-                if tx
-                    .send(Envelope::Ping {
-                        seq: 0,
-                        reply: reply_tx.clone(),
-                    })
+            for &id in self.routes.ids() {
+                if self
+                    .routes
+                    .send(
+                        id,
+                        Envelope::Ping {
+                            seq: 0,
+                            reply: reply_tx.clone(),
+                        },
+                    )
                     .is_ok()
                 {
                     sent += 1;
@@ -434,18 +434,36 @@ impl Federation {
     }
 
     /// Stop every node and return engines plus application instances.
-    pub fn shutdown_with_apps(self) -> HashMap<NodeId, NodeFinalState> {
-        self.detector_stop.store(true, Ordering::Relaxed);
-        for tx in self.routes.values() {
-            let _ = tx.send(Envelope::Shutdown);
-        }
-        drop(self.routes);
-        for d in self.detectors {
-            let _ = d.handle.join();
-        }
-        self.handles
+    pub fn shutdown_with_apps(mut self) -> HashMap<NodeId, NodeFinalState> {
+        self.request_shutdown();
+        std::mem::take(&mut self.handles)
             .into_iter()
-            .map(|(id, h)| (id, h.join().expect("node thread panicked")))
+            .flat_map(|h| h.join().expect("shard worker panicked"))
             .collect()
+    }
+
+    /// The one shutdown protocol: ask every node to stop (idempotent —
+    /// stopped nodes drop the envelope, exited shards fail the send).
+    fn request_shutdown(&self) {
+        for &id in self.routes.ids() {
+            let _ = self.routes.send(id, Envelope::Shutdown);
+        }
+    }
+}
+
+impl Drop for Federation {
+    /// Dropping without an explicit shutdown still stops the pool: shard
+    /// workers hold the routing table (and thus each other's channels)
+    /// alive, so they only exit on `Shutdown` envelopes. Unlike
+    /// [`Federation::shutdown_with_apps`], a worker panic is swallowed
+    /// here — drop glue must not double-panic.
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.request_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }

@@ -1,0 +1,322 @@
+//! The shard worker: one OS thread multiplexing many node engines.
+//!
+//! Each worker owns a fixed set of [`NodeCell`]s (assigned round-robin by
+//! cluster-major global index — see the crate docs for the determinism
+//! contract) and drains one MPMC channel carrying `(slot, Envelope)`
+//! pairs. A sender pushes every envelope for a given destination into that
+//! destination's shard channel, so per-sender FIFO — the paper's network
+//! assumption, and the property the old one-thread-per-node mailboxes
+//! provided — is preserved: a worker processes its channel in arrival
+//! order.
+//!
+//! Between messages the worker *ticks*: it fires any due per-node CLC
+//! timers and runs the heartbeat probes of the clusters it homes
+//! ([`ClusterProbe`]), sleeping via `recv_deadline` until the earliest
+//! pending deadline when idle. One reusable [`OutputBuf`] and dispatch
+//! queue serve all nodes of the shard, so steady-state message processing
+//! allocates nothing per event.
+
+use crate::app::Application;
+use crate::detector::ClusterProbe;
+use crate::envelope::{Envelope, RtEvent};
+use crate::federation::{Health, NodeFinalState, Routes};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use desim::SimTime;
+use hc3i_core::{Input, NodeEngine, Output, OutputBuf};
+use netsim::NodeId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One node multiplexed onto a shard: the engine plus its runtime-side
+/// timer and application state.
+pub(crate) struct NodeCell {
+    pub(crate) id: NodeId,
+    /// Cluster-major global arena index (health-table slot).
+    pub(crate) gidx: usize,
+    pub(crate) engine: NodeEngine,
+    pub(crate) app: Option<Box<dyn Application>>,
+    pub(crate) clc_delay: Option<Duration>,
+    pub(crate) clc_deadline: Option<Instant>,
+    /// Last fail-stop state published to the shared health table; the
+    /// table is only written on transitions, never per input.
+    pub(crate) published_failed: bool,
+    /// Set by `Envelope::Shutdown`; a stopped node drops every later
+    /// envelope, exactly as a joined node thread used to.
+    pub(crate) stopped: bool,
+}
+
+pub(crate) struct ShardWorker {
+    nodes: Vec<NodeCell>,
+    /// Slots that ever arm a CLC deadline (timer scans skip the rest).
+    timer_slots: Vec<usize>,
+    rx: Receiver<(u32, Envelope)>,
+    routes: Arc<Routes>,
+    health: Arc<Health>,
+    events: Sender<RtEvent>,
+    epoch: Instant,
+    probes: Vec<ClusterProbe>,
+    /// Reusable sink the engines emit into (same API the simulator
+    /// drives; zero allocation per input).
+    buf: OutputBuf,
+    /// Reusable dispatch queue: outputs under processing, including
+    /// follow-ups emitted by `AppStateUpdate` re-entries.
+    work: VecDeque<Output>,
+    /// Lower bound on the earliest armed CLC deadline. Arming only ever
+    /// lowers it (O(1) on the message path); the exact minimum is
+    /// recomputed only when it comes due — so a waking worker may scan
+    /// the timer slots and find nothing to fire (a deadline was replaced
+    /// by a later one), but a due timer is never missed.
+    next_clc: Option<Instant>,
+    /// Nodes not yet stopped; the worker exits when this reaches zero.
+    live: usize,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        nodes: Vec<NodeCell>,
+        rx: Receiver<(u32, Envelope)>,
+        routes: Arc<Routes>,
+        health: Arc<Health>,
+        events: Sender<RtEvent>,
+        epoch: Instant,
+        probes: Vec<ClusterProbe>,
+    ) -> Self {
+        let timer_slots: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.clc_delay.is_some())
+            .map(|(s, _)| s)
+            .collect();
+        let next_clc = nodes.iter().filter_map(|c| c.clc_deadline).min();
+        let live = nodes.len();
+        ShardWorker {
+            nodes,
+            timer_slots,
+            rx,
+            routes,
+            health,
+            events,
+            epoch,
+            probes,
+            buf: OutputBuf::new(),
+            work: VecDeque::new(),
+            next_clc,
+            live,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Drain the shard until every owned node has been shut down; return
+    /// the final engine (and application) of each.
+    pub(crate) fn run(mut self) -> Vec<(NodeId, NodeFinalState)> {
+        while self.live > 0 {
+            let msg = match self.next_deadline() {
+                Some(deadline) => match self.rx.recv_deadline(deadline) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                None => match self.rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => break,
+                },
+            };
+            if let Some((slot, env)) = msg {
+                self.handle(slot as usize, env);
+            }
+            self.tick();
+        }
+        self.nodes
+            .into_iter()
+            .map(|c| (c.id, (c.engine, c.app)))
+            .collect()
+    }
+
+    /// Earliest pending timer or probe deadline, if any. O(#probes): the
+    /// CLC side is the cached bound, not a scan.
+    fn next_deadline(&self) -> Option<Instant> {
+        let mut next = self.next_clc;
+        for p in &self.probes {
+            let t = p.next_deadline();
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Lower the cached CLC bound to cover a newly armed deadline.
+    fn arm_clc(&mut self, deadline: Instant) {
+        self.next_clc = Some(self.next_clc.map_or(deadline, |n| n.min(deadline)));
+    }
+
+    /// Fire due CLC timers and heartbeat probes. The timer-slot scan only
+    /// runs when the cached bound is actually due, so per-message ticks
+    /// are O(#probes).
+    fn tick(&mut self) {
+        let now = Instant::now();
+        if self.next_clc.is_some_and(|t| t <= now) {
+            self.fire_due_clcs(now);
+        }
+        for i in 0..self.probes.len() {
+            self.probes[i].tick(now, &self.routes, &self.health);
+        }
+    }
+
+    fn fire_due_clcs(&mut self, now: Instant) {
+        for i in 0..self.timer_slots.len() {
+            let slot = self.timer_slots[i];
+            let due = {
+                let cell = &self.nodes[slot];
+                !cell.stopped && cell.clc_deadline.is_some_and(|d| d <= now)
+            };
+            if due {
+                self.nodes[slot].clc_deadline = None;
+                self.input(slot, Input::ClcTimer);
+                // If no commit re-armed it (e.g. this node is not the
+                // coordinator), re-arm manually.
+                if self.nodes[slot].clc_deadline.is_none() {
+                    if let Some(d) = self.nodes[slot].clc_delay {
+                        self.nodes[slot].clc_deadline = Some(Instant::now() + d);
+                    }
+                }
+            }
+        }
+        // Fires and re-arms done: replace the bound with the exact minimum.
+        self.next_clc = self
+            .timer_slots
+            .iter()
+            .filter_map(|&s| {
+                let cell = &self.nodes[s];
+                if cell.stopped {
+                    None
+                } else {
+                    cell.clc_deadline
+                }
+            })
+            .min();
+    }
+
+    fn handle(&mut self, slot: usize, env: Envelope) {
+        if self.nodes[slot].stopped {
+            return;
+        }
+        let input = match env {
+            Envelope::Net { from, msg } => Input::Receive { from, msg },
+            Envelope::AppSend { to, payload } => Input::AppSend { to, payload },
+            Envelope::ClcNow => Input::ClcTimer,
+            Envelope::GcNow => Input::GcTimer,
+            Envelope::Fail => Input::Fail,
+            Envelope::Detect { failed_rank } => Input::DetectFault { failed_rank },
+            Envelope::DetectMulti { failed_ranks } => Input::DetectFaults { failed_ranks },
+            Envelope::Ping { seq, reply } => {
+                // Liveness is a node property: a fail-stopped engine stays
+                // silent, everyone else answers.
+                if !self.nodes[slot].engine.is_failed() {
+                    let _ = reply.send((self.nodes[slot].id.rank, seq));
+                }
+                return;
+            }
+            Envelope::Shutdown => {
+                self.nodes[slot].stopped = true;
+                self.live -= 1;
+                return;
+            }
+        };
+        self.input(slot, input);
+    }
+
+    /// Feed one input to a node's engine, perform everything it emits, and
+    /// publish any fail-stop transition to the shared health table.
+    fn input(&mut self, slot: usize, input: Input) {
+        let now = self.now();
+        self.nodes[slot].engine.handle(now, input, &mut self.buf);
+        self.dispatch(slot);
+        let cell = &mut self.nodes[slot];
+        let failed = cell.engine.is_failed();
+        if failed != cell.published_failed {
+            cell.published_failed = failed;
+            self.health.bump(cell.gidx);
+        }
+    }
+
+    /// Perform everything the engine just emitted into `self.buf`. The
+    /// buffer and the work queue are reused across inputs and nodes.
+    fn dispatch(&mut self, slot: usize) {
+        debug_assert!(self.work.is_empty());
+        self.work.extend(self.buf.drain());
+        while let Some(out) = self.work.pop_front() {
+            let id = self.nodes[slot].id;
+            match out {
+                Output::Send { to, msg } => {
+                    // A vanished route only happens at shutdown; drop then.
+                    let _ = self.routes.send(to, Envelope::Net { from: id, msg });
+                }
+                Output::DeliverApp { from, payload } => {
+                    if self.nodes[slot].app.is_some() {
+                        let snap = {
+                            let app = self.nodes[slot].app.as_mut().expect("checked above");
+                            app.on_deliver(from, payload);
+                            app.snapshot()
+                        };
+                        let now = self.now();
+                        self.nodes[slot].engine.handle(
+                            now,
+                            Input::AppStateUpdate { state: snap },
+                            &mut self.buf,
+                        );
+                        self.work.extend(self.buf.drain());
+                    }
+                    let _ = self.events.send(RtEvent::Delivered {
+                        to: id,
+                        from,
+                        payload,
+                    });
+                }
+                Output::Committed { sn, forced } => {
+                    let _ = self.events.send(RtEvent::Committed {
+                        cluster: id.cluster.index(),
+                        sn,
+                        forced,
+                    });
+                }
+                Output::ResetClcTimer => {
+                    if let Some(d) = self.nodes[slot].clc_delay {
+                        let deadline = Instant::now() + d;
+                        self.nodes[slot].clc_deadline = Some(deadline);
+                        self.arm_clc(deadline);
+                    }
+                }
+                Output::RolledBack { restore_sn, .. } => {
+                    let _ = self.events.send(RtEvent::RolledBack {
+                        node: id,
+                        restore_sn,
+                    });
+                }
+                Output::GcReport { before, after } => {
+                    let _ = self.events.send(RtEvent::GcReport {
+                        cluster: id.cluster.index(),
+                        before,
+                        after,
+                    });
+                }
+                Output::Unrecoverable { failed_rank } => {
+                    let _ = self.events.send(RtEvent::Unrecoverable {
+                        cluster: id.cluster.index(),
+                        rank: failed_rank,
+                    });
+                }
+                Output::LateCrossing { .. } => {
+                    let _ = self.events.send(RtEvent::LateCrossing { node: id });
+                }
+                Output::RestoreApp { state } => {
+                    if let Some(app) = self.nodes[slot].app.as_mut() {
+                        app.restore(state.as_deref());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,28 @@ fn fault_detected_and_recovered_autonomously() {
 }
 
 #[test]
+fn refailure_right_after_recovery_is_redetected() {
+    // Fail → autonomous recovery → immediately fail again, three times.
+    // The refailure typically lands inside the same probe period as the
+    // revival, so the probe never observes the alive window — the
+    // failure-generation counter (not parity alone) is what makes the
+    // second failure reportable.
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 2]).with_heartbeat(hb()));
+    let victim = n(0, 2);
+    for round in 0..3 {
+        fed.fail(victim);
+        fed.wait_for(Duration::from_secs(10), |e| {
+            matches!(e, RtEvent::RolledBack { node, .. } if *node == victim)
+        })
+        .unwrap_or_else(|| panic!("round {round}: failure must be (re-)detected"));
+        // Settle the rollback, then refail without waiting out a period.
+        fed.quiesce(2, Duration::from_secs(5));
+    }
+    let engines = fed.shutdown();
+    assert!(!engines[&victim].is_failed(), "revived after the last round");
+}
+
+#[test]
 fn healthy_federation_sees_no_spurious_rollbacks() {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]).with_heartbeat(hb()));
     // Exchange some traffic while the detector probes in the background.

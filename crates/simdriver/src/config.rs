@@ -34,6 +34,12 @@ pub struct SimConfig {
     /// Scripted faults (in addition to MTBF-driven ones if the topology
     /// sets an MTBF).
     pub faults: Vec<FaultEvent>,
+    /// Scripted one-shot unforced CLCs: `(when, cluster)`. The simulator
+    /// counterpart of the runtime controller's `checkpoint_now` — lets a
+    /// scripted scenario run step-for-step on both substrates.
+    pub scripted_clcs: Vec<(SimTime, usize)>,
+    /// Scripted one-shot garbage collections (runtime `gc_now`).
+    pub scripted_gcs: Vec<SimTime>,
     /// Network contention model.
     pub contention: ContentionModel,
     /// Root RNG seed (MTBF fault placement).
@@ -60,6 +66,8 @@ impl SimConfig {
             duration,
             sends: vec![],
             faults: vec![],
+            scripted_clcs: vec![],
+            scripted_gcs: vec![],
             contention: ContentionModel::Unlimited,
             seed: 0xC3C3_C3C3,
             trace: TraceLevel::Off,
@@ -87,6 +95,20 @@ impl SimConfig {
     /// Add a scripted fault.
     pub fn with_fault(mut self, at: SimTime, node: NodeId) -> Self {
         self.faults.push(FaultEvent { at, node });
+        self
+    }
+
+    /// Take one unforced CLC in `cluster` at `at` (independent of the
+    /// periodic timer).
+    pub fn with_scripted_clc(mut self, at: SimTime, cluster: usize) -> Self {
+        self.scripted_clcs.push((at, cluster));
+        self
+    }
+
+    /// Run one garbage collection at `at` (independent of the periodic
+    /// GC interval).
+    pub fn with_scripted_gc(mut self, at: SimTime) -> Self {
+        self.scripted_gcs.push(at);
         self
     }
 

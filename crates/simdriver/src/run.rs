@@ -39,10 +39,18 @@ pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
         );
     }
 
-    // Scripted faults.
+    // Scripted faults, checkpoints and collections.
     let faults = sim.world().cfg.faults.clone();
     for f in faults {
         sim.schedule_at(f.at, Ev::Fault { node: f.node });
+    }
+    let clcs = sim.world().cfg.scripted_clcs.clone();
+    for (at, cluster) in clcs {
+        sim.schedule_at(at, Ev::ClcNow { cluster });
+    }
+    let gcs = sim.world().cfg.scripted_gcs.clone();
+    for at in gcs {
+        sim.schedule_at(at, Ev::GcNow);
     }
 
     // MTBF-driven faults.

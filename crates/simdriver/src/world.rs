@@ -34,8 +34,16 @@ pub enum Ev {
         /// The cluster.
         cluster: usize,
     },
+    /// A scripted one-shot unforced CLC (the simulator counterpart of the
+    /// runtime controller's `checkpoint_now`; never re-arms timers).
+    ClcNow {
+        /// The cluster.
+        cluster: usize,
+    },
     /// The federation GC timer fires.
     GcTimer,
+    /// A scripted one-shot garbage collection (runtime `gc_now`).
+    GcNow,
     /// A node fail-stops.
     Fault {
         /// The failing node.
@@ -68,6 +76,11 @@ pub struct FederationWorld {
     pub(crate) offsets: Vec<usize>,
     pub(crate) net: Network,
     pub(crate) clc_timer_keys: Vec<Option<EventKey>>,
+    /// Per-cluster ranks already reported to the recovery coordinator and
+    /// not yet seen alive again (mirrors the runtime probe's `reported`
+    /// set): concurrent faults reach the engine as *one* multi-failure
+    /// report instead of one rollback per detection event.
+    reported: Vec<std::collections::HashSet<u32>>,
     pub(crate) stats: RunReport,
     pub(crate) tracer: Tracer,
     /// Reusable engine-output buffer threaded through `handle_engine`.
@@ -103,6 +116,7 @@ impl FederationWorld {
             offsets,
             net,
             clc_timer_keys: vec![None; n],
+            reported: vec![std::collections::HashSet::new(); n],
             stats,
             tracer,
             out_buf: OutputBuf::new(),
@@ -324,6 +338,12 @@ impl World for FederationWorld {
                     }
                 }
             }
+            Ev::ClcNow { cluster } => {
+                // One-shot: fire the coordinator's CLC input without
+                // touching the periodic timer bookkeeping.
+                let coord = NodeId::new(cluster as u16, 0);
+                self.handle_engine(ctx, coord, Input::ClcTimer);
+            }
             Ev::GcTimer => {
                 let initiator = NodeId::new(0, 0);
                 self.handle_engine(ctx, initiator, Input::GcTimer);
@@ -331,10 +351,16 @@ impl World for FederationWorld {
                     ctx.schedule_in(interval, Ev::GcTimer);
                 }
             }
+            Ev::GcNow => {
+                self.handle_engine(ctx, NodeId::new(0, 0), Input::GcTimer);
+            }
             Ev::Fault { node } => {
                 if self.engine(node).is_failed() {
                     return;
                 }
+                // The node was alive this instant: an earlier report on it
+                // is spent, and this new failure is reportable again.
+                self.reported[node.cluster.index()].remove(&node.rank);
                 self.handle_engine(ctx, node, Input::Fail);
                 ctx.schedule_in(
                     self.cfg.detection_delay,
@@ -348,19 +374,43 @@ impl World for FederationWorld {
                 cluster,
                 failed_rank,
             } => {
-                // Skip stale detections (the node was already revived by an
-                // earlier rollback).
-                if !self.cluster_engines(cluster)[failed_rank as usize].is_failed() {
+                // Revived ranks become reportable again; then skip stale
+                // detections (node already revived, or already part of an
+                // earlier report whose rollback is still in flight).
+                let base = self.offsets[cluster];
+                {
+                    let engines = &self.engines;
+                    self.reported[cluster]
+                        .retain(|&r| engines[base + r as usize].is_failed());
+                }
+                if !self.cluster_engines(cluster)[failed_rank as usize].is_failed()
+                    || self.reported[cluster].contains(&failed_rank)
+                {
                     return;
                 }
                 let Some(rank) = self.recovery_coordinator(cluster) else {
                     self.stats.unrecoverable_faults += 1;
                     return;
                 };
+                // One detection round observes *every* failed-and-unreported
+                // rank — concurrent faults in a cluster reach the engine as
+                // a single multi-failure report, exactly like the runtime's
+                // heartbeat probes (`Input::DetectFaults`); the later
+                // per-fault Detect events then skip as already reported.
+                let failed_ranks: Vec<u32> = self
+                    .cluster_engines(cluster)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(r, e)| {
+                        e.is_failed() && !self.reported[cluster].contains(&(r as u32))
+                    })
+                    .map(|(r, _)| r as u32)
+                    .collect();
+                self.reported[cluster].extend(failed_ranks.iter().copied());
                 self.handle_engine(
                     ctx,
                     NodeId::new(cluster as u16, rank),
-                    Input::DetectFault { failed_rank },
+                    Input::DetectFaults { failed_ranks },
                 );
             }
             Ev::End => ctx.stop(),

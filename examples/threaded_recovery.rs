@@ -1,9 +1,10 @@
-//! The protocol on the hand-rolled threaded messaging layer.
+//! The protocol on the hand-rolled sharded messaging layer.
 //!
-//! Spawns a real federation (one OS thread per node, crossbeam-channel
-//! mailboxes), exchanges messages, kills a node, and watches the cluster
-//! restore its forced checkpoint and the sender replay the lost delivery
-//! from its optimistic log — live, not simulated.
+//! Spawns a real federation (a fixed pool of shard workers multiplexing
+//! the node engines over crossbeam-channel mailboxes), exchanges
+//! messages, kills a node, and watches the cluster restore its forced
+//! checkpoint and the sender replay the lost delivery from its optimistic
+//! log — live, not simulated.
 //!
 //! ```text
 //! cargo run --release --example threaded_recovery
@@ -19,7 +20,10 @@ fn main() {
     let n = NodeId::new;
     let tick = Duration::from_secs(5);
 
-    println!("== threaded federation: 2 clusters x 3 node threads ==\n");
+    println!(
+        "== sharded federation: 2 clusters x 3 nodes on {} worker(s) ==\n",
+        fed.shards()
+    );
 
     // A cross-cluster message: the receiver cluster must force a CLC
     // before delivering it.

@@ -20,8 +20,9 @@
 //! * [`simdriver`] — end-to-end federation simulations and reports;
 //! * [`baselines`] — global-coordinated / independent / pessimistic-log
 //!   comparators;
-//! * [`runtime`] — a hand-rolled threaded message-passing substrate
-//!   driving the identical protocol engine.
+//! * [`runtime`] — a sharded multiplexed message-passing substrate
+//!   (thousands of nodes on a fixed worker pool) driving the identical
+//!   protocol engine.
 //!
 //! ## Quickstart
 //!

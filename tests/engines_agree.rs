@@ -54,8 +54,12 @@ fn run_instant(steps: &[Step]) -> InstantFederation {
     fed
 }
 
-fn run_threaded(steps: &[Step]) -> std::collections::HashMap<NodeId, hc3i::core::NodeEngine> {
-    let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 3]));
+/// Shard counts every cross-check sweeps: the protocol state must be
+/// independent of how the executor multiplexes nodes onto workers.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn run_threaded(steps: &[Step], shards: usize) -> std::collections::HashMap<NodeId, hc3i::core::NodeEngine> {
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 3]).with_shards(shards));
     for s in steps {
         // The instant federation runs each step to quiescence; mirror that
         // with a ping barrier so in-flight acks/alert consequences from the
@@ -110,28 +114,29 @@ fn run_threaded(steps: &[Step]) -> std::collections::HashMap<NodeId, hc3i::core:
 fn instant_and_threaded_reach_the_same_protocol_state() {
     let steps = scenario();
     let instant = run_instant(&steps);
-    let threaded = run_threaded(&steps);
-
-    for c in 0..2u16 {
-        for r in 0..3u32 {
-            let id = n(c, r);
-            let a = instant.engine(id);
-            let b = &threaded[&id];
-            assert_eq!(a.sn(), b.sn(), "{id}: SN mismatch");
-            assert_eq!(a.ddv(), b.ddv(), "{id}: DDV mismatch");
-            assert_eq!(
-                a.store().ddv_list(),
-                b.store().ddv_list(),
-                "{id}: stored CLC stamps mismatch"
-            );
-            assert_eq!(a.epoch(), b.epoch(), "{id}: epoch mismatch");
-            assert_eq!(
-                a.log().len(),
-                b.log().len(),
-                "{id}: log length mismatch"
-            );
-            assert_eq!(a.late_crossings(), 0);
-            assert_eq!(b.late_crossings(), 0);
+    for shards in SHARD_COUNTS {
+        let threaded = run_threaded(&steps, shards);
+        for c in 0..2u16 {
+            for r in 0..3u32 {
+                let id = n(c, r);
+                let a = instant.engine(id);
+                let b = &threaded[&id];
+                assert_eq!(a.sn(), b.sn(), "{id} @ {shards} shards: SN mismatch");
+                assert_eq!(a.ddv(), b.ddv(), "{id} @ {shards} shards: DDV mismatch");
+                assert_eq!(
+                    a.store().ddv_list(),
+                    b.store().ddv_list(),
+                    "{id} @ {shards} shards: stored CLC stamps mismatch"
+                );
+                assert_eq!(a.epoch(), b.epoch(), "{id} @ {shards} shards: epoch mismatch");
+                assert_eq!(
+                    a.log().len(),
+                    b.log().len(),
+                    "{id} @ {shards} shards: log length mismatch"
+                );
+                assert_eq!(a.late_crossings(), 0);
+                assert_eq!(b.late_crossings(), 0);
+            }
         }
     }
 }
@@ -139,7 +144,7 @@ fn instant_and_threaded_reach_the_same_protocol_state() {
 #[test]
 fn threaded_scenario_sanity() {
     // The threaded run on its own: cluster SNs coherent at shutdown.
-    let threaded = run_threaded(&scenario());
+    let threaded = run_threaded(&scenario(), 2);
     for c in 0..2u16 {
         let sn0 = threaded[&n(c, 0)].sn();
         for r in 1..3u32 {

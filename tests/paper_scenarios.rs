@@ -225,6 +225,61 @@ fn fault_storm_stays_consistent() {
 }
 
 #[test]
+fn detect_faults_multi_failure_sweep() {
+    // The §7 replication extension, end-to-end and simulator-driven: two
+    // nodes of cluster 0 fail at the same instant — one detection round
+    // reaches the recovery coordinator as a single multi-failure report
+    // (the engine's `DetectFaults` path) — while cluster 1 concurrently
+    // loses a node of its own. Degree-2 fragment replication keeps the
+    // adjacent cluster-0 pair recoverable. Swept over 3 seeds like every
+    // other paper shape.
+    for seed in SWEEP_SEEDS {
+        let w = TargetCountWorkload::paper_with_reverse_count(103);
+        let sends = w.schedule(&RngStreams::new(seed));
+        let at = SimTime::ZERO + SimDuration::from_minutes(5 * 60 + 17);
+        let mut cfg = SimConfig::new(Topology::paper_reference(2), w.duration)
+            .with_sends(sends)
+            .with_seed(seed)
+            .with_protocol(
+                ProtocolConfig::new(vec![100, 100])
+                    .with_replication(hc3i::core::ReplicationPolicy::with_degree(2)),
+            )
+            .with_gc_interval(SimDuration::from_hours(2));
+        for c in 0..2 {
+            cfg = cfg.with_clc_delay(c, SimDuration::from_minutes(30));
+        }
+        // Concurrent failures: an adjacent pair in cluster 0, plus one in
+        // the distinct cluster 1, all at the same simulated instant.
+        cfg = cfg
+            .with_fault(at, NodeId::new(0, 10))
+            .with_fault(at, NodeId::new(0, 11))
+            .with_fault(at, NodeId::new(1, 42));
+        let r = simdriver::run(cfg);
+        // Exactly one rollback per cluster: the cluster-0 pair was
+        // detected *together* (a second, per-fault detection would have
+        // produced a second rollback), and cluster 1 recovered its own.
+        assert_eq!(
+            r.clusters[0].rollbacks.len(),
+            1,
+            "seed {seed}: concurrent cluster-0 faults must be detected as one batch"
+        );
+        assert_eq!(r.clusters[1].rollbacks.len(), 1, "seed {seed}");
+        // Both recoveries are bounded by one checkpoint period and sound.
+        for c in 0..2 {
+            assert!(
+                r.clusters[c].work_lost[0] <= SimDuration::from_minutes(31),
+                "seed {seed}: cluster {c} lost {}",
+                r.clusters[c].work_lost[0]
+            );
+        }
+        assert_eq!(r.unrecoverable_faults, 0, "seed {seed}");
+        assert_eq!(r.late_crossings, 0, "seed {seed}");
+        // The federation kept checkpointing to the end of the run.
+        assert!(r.clusters[0].total_clcs() >= 15, "seed {seed}");
+    }
+}
+
+#[test]
 fn full_ddv_reduces_forced_clcs_on_ring() {
     // The §7 transitivity extension on a 3-cluster ring with second-hop
     // traffic: strictly fewer (or equal) forced CLCs.

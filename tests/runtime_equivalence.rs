@@ -1,0 +1,251 @@
+//! Property test: the sharded runtime and the discrete-event simulator
+//! agree on every random workload, at every shard count.
+//!
+//! Each case generates a random scripted scenario (sends, manual
+//! checkpoints, single faults, garbage collections) and runs it twice:
+//!
+//! * through `simdriver`, with the steps spaced one simulated second
+//!   apart (each step fully quiesces before the next — network latencies
+//!   are sub-millisecond) and the checkpoints/GCs injected via the
+//!   scripted `ClcNow`/`GcNow` events;
+//! * through the threaded [`runtime::Federation`] at shard counts
+//!   {1, 2, 8}, with a ping barrier quiescing each step.
+//!
+//! The comparable artifact is a [`RunReport`] fingerprint restricted to
+//! the deterministic protocol outcomes — commit counts by kind, rollback
+//! restore points, end-of-run storage and log occupancy, deliveries and
+//! soundness counters. Wall-clock timings and wire-byte totals are
+//! substrate-specific and excluded. All four runs must produce the
+//! identical fingerprint.
+
+use hc3i::prelude::*;
+use netsim::NodeId;
+use proptest::prelude::*;
+use runtime::{Federation, RtEvent, RuntimeConfig};
+use std::time::Duration;
+
+const CLUSTERS: usize = 2;
+const PER_CLUSTER: u32 = 3;
+const NODES: usize = CLUSTERS * PER_CLUSTER as usize;
+const TICK: Duration = Duration::from_secs(10);
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn node(i: usize) -> NodeId {
+    NodeId::new((i / PER_CLUSTER as usize) as u16, (i % PER_CLUSTER as usize) as u32)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Send { from: usize, to: usize },
+    Checkpoint { cluster: usize },
+    Fault { victim: usize },
+    Gc,
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u32..NODES as u32, 0u32..NODES as u32 - 1).prop_map(|(f, t)| {
+                // Skip the sender's own slot so from != to.
+                let to = if t >= f { t + 1 } else { t };
+                Step::Send { from: f as usize, to: to as usize }
+            }),
+            2 => (0u32..CLUSTERS as u32).prop_map(|c| Step::Checkpoint { cluster: c as usize }),
+            1 => (0u32..NODES as u32).prop_map(|v| Step::Fault { victim: v as usize }),
+            1 => Just(Step::Gc),
+        ],
+        6..=14,
+    )
+}
+
+/// The deterministic protocol outcomes of a run, comparable across
+/// substrates and shard counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    /// Per cluster: (unforced commits, forced commits, rollback restore
+    /// SNs in order, stored CLCs at end, logged messages at end).
+    clusters: Vec<(u64, u64, Vec<u64>, usize, usize)>,
+    delivered: u64,
+    late_crossings: u64,
+    unrecoverable: u64,
+}
+
+fn sim_fingerprint(steps: &[Step]) -> Fingerprint {
+    let topo = Topology::new(
+        vec![
+            netsim::ClusterSpec {
+                nodes: PER_CLUSTER,
+                intra: netsim::LinkSpec::myrinet_like(),
+            };
+            CLUSTERS
+        ],
+        netsim::LinkSpec::ethernet_like(),
+    );
+    let duration = SimDuration::from_secs(steps.len() as u64 + 5);
+    let mut cfg = SimConfig::new(topo, duration);
+    let mut sends = Vec::new();
+    for (k, s) in steps.iter().enumerate() {
+        let at = SimTime::ZERO + SimDuration::from_secs(1 + k as u64);
+        match *s {
+            Step::Send { from, to } => sends.push(workload::SendEvent {
+                at,
+                from: node(from),
+                to: node(to),
+                bytes: 512,
+            }),
+            Step::Checkpoint { cluster } => cfg = cfg.with_scripted_clc(at, cluster),
+            Step::Fault { victim } => cfg = cfg.with_fault(at, node(victim)),
+            Step::Gc => cfg = cfg.with_scripted_gc(at),
+        }
+    }
+    cfg = cfg.with_sends(sends);
+    let r = simdriver::run(cfg);
+    Fingerprint {
+        clusters: r
+            .clusters
+            .iter()
+            .map(|c| {
+                (
+                    c.unforced_clcs,
+                    c.forced_clcs,
+                    c.rollbacks.iter().map(|&(_, sn, _)| sn.value()).collect(),
+                    c.stored_clcs,
+                    c.logged_messages as usize,
+                )
+            })
+            .collect(),
+        delivered: r.app_delivered,
+        late_crossings: r.late_crossings,
+        unrecoverable: r.unrecoverable_faults,
+    }
+}
+
+fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
+    let fed = Federation::spawn(
+        RuntimeConfig::manual(vec![PER_CLUSTER; CLUSTERS]).with_shards(shards),
+    );
+    let mut events: Vec<RtEvent> = Vec::new();
+    let wait = |fed: &Federation, what: &str, mut pred: Box<dyn FnMut(&RtEvent) -> bool>| {
+        fed.wait_for(TICK, |e| pred(e))
+            .unwrap_or_else(|| panic!("timed out waiting for {what} @ {shards} shards"))
+    };
+    for (k, s) in steps.iter().enumerate() {
+        // Mirror the simulator's one-second step spacing with a ping
+        // barrier: everything a step caused settles before the next.
+        assert_eq!(fed.quiesce(4, TICK), NODES, "barrier @ {shards} shards");
+        match *s {
+            Step::Send { from, to } => {
+                let tag = k as u64;
+                fed.send_app(node(from), node(to), hc3i::core::AppPayload { bytes: 512, tag });
+                events.extend(wait(
+                    &fed,
+                    "delivery",
+                    Box::new(move |e| {
+                        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag)
+                    }),
+                ));
+            }
+            Step::Checkpoint { cluster } => {
+                fed.checkpoint_now(cluster);
+                events.extend(wait(
+                    &fed,
+                    "commit",
+                    Box::new(move |e| {
+                        matches!(e, RtEvent::Committed { cluster: c, .. } if *c == cluster)
+                    }),
+                ));
+            }
+            Step::Fault { victim } => {
+                let v = node(victim);
+                fed.fail(v);
+                // The detector reports to the lowest-ranked survivor, like
+                // the simulator's recovery coordinator.
+                let detector = NodeId::new(v.cluster.0, u32::from(v.rank == 0));
+                fed.detect(detector, v.rank);
+                events.extend(wait(
+                    &fed,
+                    "rollback",
+                    Box::new(move |e| {
+                        matches!(e, RtEvent::RolledBack { node: n, .. } if *n == v)
+                    }),
+                ));
+            }
+            Step::Gc => {
+                fed.gc_now();
+                let mut reports = 0;
+                events.extend(wait(
+                    &fed,
+                    "gc reports",
+                    Box::new(move |e| {
+                        if matches!(e, RtEvent::GcReport { .. }) {
+                            reports += 1;
+                        }
+                        reports == CLUSTERS
+                    }),
+                ));
+            }
+        }
+    }
+    assert_eq!(fed.quiesce(4, TICK), NODES, "final barrier @ {shards} shards");
+    events.extend(fed.drain_events());
+    let engines = fed.shutdown();
+
+    let mut clusters = vec![(0u64, 0u64, Vec::new(), 0usize, 0usize); CLUSTERS];
+    for e in &events {
+        match e {
+            RtEvent::Committed { cluster, forced, .. } => {
+                if *forced {
+                    clusters[*cluster].1 += 1;
+                } else {
+                    clusters[*cluster].0 += 1;
+                }
+            }
+            RtEvent::RolledBack { node, restore_sn } if node.rank == 0 => {
+                clusters[node.cluster.index()].2.push(restore_sn.value());
+            }
+            _ => {}
+        }
+    }
+    for (c, entry) in clusters.iter_mut().enumerate() {
+        let coord = NodeId::new(c as u16, 0);
+        entry.3 = engines[&coord].store().len();
+        entry.4 = (0..PER_CLUSTER)
+            .map(|r| engines[&NodeId::new(c as u16, r)].log().len())
+            .sum();
+    }
+    Fingerprint {
+        clusters,
+        delivered: events
+            .iter()
+            .filter(|e| matches!(e, RtEvent::Delivered { .. }))
+            .count() as u64,
+        late_crossings: events
+            .iter()
+            .filter(|e| matches!(e, RtEvent::LateCrossing { .. }))
+            .count() as u64,
+        unrecoverable: events
+            .iter()
+            .filter(|e| matches!(e, RtEvent::Unrecoverable { .. }))
+            .count() as u64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_workloads_fingerprint_identically(steps in steps_strategy()) {
+        let sim = sim_fingerprint(&steps);
+        prop_assert_eq!(&sim.late_crossings, &0u64, "sim must stay sound: {:?}", steps);
+        for shards in SHARD_COUNTS {
+            let threaded = threaded_fingerprint(&steps, shards);
+            prop_assert_eq!(
+                &sim,
+                &threaded,
+                "substrates disagree at {} shards on {:?}",
+                shards,
+                steps
+            );
+        }
+    }
+}

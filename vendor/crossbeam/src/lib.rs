@@ -2,12 +2,14 @@
 //! workspace uses). The build environment has no access to crates.io, so
 //! this vendored crate provides unbounded MPMC channels with the
 //! `crossbeam-channel` API shape: cloneable senders *and* receivers,
-//! `recv_timeout`, and disconnection detection in both directions.
+//! `recv_timeout`/`recv_deadline`, and disconnection detection in both
+//! directions.
 //!
 //! Built on `Mutex<VecDeque>` + `Condvar` — slower than the real lock-free
 //! crossbeam under contention, but semantically identical for the
-//! federation runtime's mailbox pattern (FIFO per channel, reliable,
-//! unbounded).
+//! federation runtime's sharded mailbox pattern (FIFO per channel,
+//! reliable, unbounded; shard workers block on `recv_deadline` until the
+//! earliest pending timer).
 
 #![warn(missing_docs)]
 
@@ -185,7 +187,14 @@ pub mod channel {
         /// Block until a message arrives, the timeout elapses, or all
         /// senders disconnect.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Block until a message arrives, `deadline` passes, or all senders
+        /// disconnect (the `crossbeam-channel` `recv_deadline` API; used by
+        /// the sharded runtime executor, whose workers wait on the earliest
+        /// of many per-node timer deadlines).
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
             let mut q = self.shared.queue.lock().unwrap();
             loop {
                 if let Some(v) = q.pop_front() {
@@ -281,6 +290,16 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Timeout)
             );
+        }
+
+        #[test]
+        fn deadline_in_the_past_times_out_immediately() {
+            let (tx, rx) = unbounded::<u32>();
+            let past = Instant::now() - Duration::from_millis(5);
+            assert_eq!(rx.recv_deadline(past), Err(RecvTimeoutError::Timeout));
+            tx.send(9).unwrap();
+            // A queued message is returned even when the deadline has passed.
+            assert_eq!(rx.recv_deadline(past), Ok(9));
         }
 
         #[test]

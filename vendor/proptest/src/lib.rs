@@ -7,10 +7,23 @@
 //!
 //! Differences from real proptest, deliberate for an offline build:
 //!
-//! * **No shrinking** — a failing case reports its deterministic case
-//!   number; re-running the test reproduces it exactly.
+//! * **No shrinking** — real proptest minimizes a failing input before
+//!   reporting it; this stand-in reports the raw generated value at its
+//!   deterministic case number. Expect failure messages to carry larger,
+//!   noisier inputs than upstream proptest would show — the trade for a
+//!   dependency-free generator. Re-running the test reproduces the case
+//!   exactly.
 //! * **Deterministic seeding** — each test's RNG is seeded from the test
 //!   name (FNV-1a), so failures are stable across runs and machines.
+//! * **Failure persistence by case number** — on failure, the failing
+//!   case number is appended to
+//!   `<crate>/proptest-regressions/<test>.txt` (`cc N` lines, mirroring
+//!   real proptest's `cc <seed>` files). Because generation is
+//!   deterministic per test name, the case number is the complete
+//!   reproduction recipe: later runs extend their case count to cover
+//!   every recorded `N`, so a persisted failure keeps replaying even if
+//!   the configured `cases` is reduced. Delete the file once the bug is
+//!   fixed (or commit it as a regression pin).
 
 #![warn(missing_docs)]
 
@@ -146,7 +159,13 @@ macro_rules! __proptest_tests {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-                for case in 0..config.cases {
+                // Extend the run to replay any persisted failing case.
+                let cases = $crate::test_runner::replay_case_count(
+                    env!("CARGO_MANIFEST_DIR"),
+                    stringify!($name),
+                    config.cases,
+                );
+                for case in 0..cases {
                     $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
                     let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || {
@@ -154,11 +173,17 @@ macro_rules! __proptest_tests {
                             ::std::result::Result::Ok(())
                         })();
                     if let ::std::result::Result::Err(e) = outcome {
+                        $crate::test_runner::persist_failure(
+                            env!("CARGO_MANIFEST_DIR"),
+                            stringify!($name),
+                            case,
+                        );
                         panic!(
-                            "[proptest] {} failed at case {}/{} (deterministic; rerun reproduces): {}",
+                            "[proptest] {} failed at case {}/{} (deterministic; rerun \
+                             reproduces; recorded in proptest-regressions/): {}",
                             stringify!($name),
                             case + 1,
-                            config.cases,
+                            cases,
                             e
                         );
                     }

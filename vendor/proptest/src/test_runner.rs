@@ -1,9 +1,11 @@
-//! Test-runner plumbing: configuration, the per-test RNG and the error
-//! type `prop_assert!` produces.
+//! Test-runner plumbing: configuration, the per-test RNG, the error type
+//! `prop_assert!` produces, and the failure-persistence file that records
+//! failing case numbers (`proptest-regressions/<test>.txt`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// How a `proptest!` block runs its cases.
 #[derive(Debug, Clone)]
@@ -61,6 +63,64 @@ impl std::error::Error for TestCaseError {}
 /// Result type of a generated test case body.
 pub type TestCaseResult = Result<(), TestCaseError>;
 
+/// Path of a test's failure-persistence file: real proptest stores failing
+/// seeds under `proptest-regressions/`; this stand-in's generation is a
+/// pure function of the test name, so the *case number* is the complete
+/// reproduction recipe and is what gets stored.
+pub fn regression_path(manifest_dir: &str, test: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{test}.txt"))
+}
+
+/// Record a failing case number (`cc <case>` lines, mirroring real
+/// proptest's `cc <seed>` format). Appends — earlier failures of other
+/// cases stay recorded. Best-effort: persistence must never mask the
+/// test panic, so I/O errors are swallowed.
+pub fn persist_failure(manifest_dir: &str, test: &str, case: u32) {
+    let path = regression_path(manifest_dir, test);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    if recorded_cases(&existing).any(|c| c == case) {
+        return;
+    }
+    let mut out = String::new();
+    if existing.is_empty() {
+        out.push_str(
+            "# Failure cases recorded by the vendored proptest stand-in.\n\
+             # Generation is deterministic per test name, so each `cc N` line\n\
+             # reproduces by rerunning the test (cases 0..=N replay first).\n\
+             # This stand-in does not shrink; N is the raw failing case.\n",
+        );
+    } else {
+        out.push_str(&existing);
+    }
+    out.push_str(&format!("cc {case}\n"));
+    let _ = std::fs::write(&path, out);
+}
+
+/// The `cc <case>` entries of a persistence file's contents.
+fn recorded_cases(contents: &str) -> impl Iterator<Item = u32> + '_ {
+    contents
+        .lines()
+        .filter_map(|l| l.strip_prefix("cc "))
+        .filter_map(|n| n.trim().parse().ok())
+}
+
+/// How many cases a test must run to replay every recorded failure:
+/// `configured`, extended to cover the largest persisted case number (so
+/// a recorded failure keeps replaying even if the configured case count
+/// is later reduced).
+pub fn replay_case_count(manifest_dir: &str, test: &str, configured: u32) -> u32 {
+    let contents =
+        std::fs::read_to_string(regression_path(manifest_dir, test)).unwrap_or_default();
+    recorded_cases(&contents)
+        .map(|c| c.saturating_add(1))
+        .fold(configured, u32::max)
+}
+
 /// The RNG handed to strategies during generation.
 #[derive(Debug, Clone)]
 pub struct TestRng(pub(crate) StdRng);
@@ -75,5 +135,61 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch manifest dir unique to this test binary run.
+    fn scratch(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-standin-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.to_str().expect("utf-8 temp path").to_string()
+    }
+
+    #[test]
+    fn persisted_failures_extend_the_replayed_case_count() {
+        let dir = scratch("replay");
+        assert_eq!(replay_case_count(&dir, "some_test", 64), 64);
+        persist_failure(&dir, "some_test", 200);
+        assert_eq!(
+            replay_case_count(&dir, "some_test", 64),
+            201,
+            "a recorded case beyond the configured count must still replay"
+        );
+        assert_eq!(
+            replay_case_count(&dir, "some_test", 512),
+            512,
+            "a larger configured count wins"
+        );
+        assert_eq!(
+            replay_case_count(&dir, "other_test", 64),
+            64,
+            "persistence is per-test"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_appends_and_dedupes() {
+        let dir = scratch("dedupe");
+        persist_failure(&dir, "t", 3);
+        persist_failure(&dir, "t", 9);
+        persist_failure(&dir, "t", 3);
+        let contents =
+            std::fs::read_to_string(regression_path(&dir, "t")).expect("file written");
+        let cases: Vec<u32> = recorded_cases(&contents).collect();
+        assert_eq!(cases, vec![3, 9]);
+        assert!(
+            contents.starts_with('#'),
+            "file carries its format header: {contents}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
