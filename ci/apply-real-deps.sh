@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Swap the vendored dependency stand-ins (vendor/*) for their crates.io
+# versions — the "real-deps overlay".
+#
+# Cargo features cannot change where a dependency comes *from*, and a
+# `[patch.crates-io]` table pointing at vendor/ would still contact the
+# registry during resolution, which the offline build environment cannot.
+# So the default workspace builds purely from in-repo path crates, and this
+# script rewrites the workspace manifest in place for network-capable
+# environments (CI's feature-matrix job):
+#
+#   * drops `vendor/*` from the member lists (the stand-ins shadow the
+#     crates.io package names, so they must leave the workspace),
+#   * points the `[workspace.dependencies]` entries for rand / crossbeam /
+#     proptest / criterion at their registry versions,
+#   * removes Cargo.lock so the graph re-resolves against the registry.
+#
+# Afterwards, build/test with `--features real-deps` so the crates that
+# care can tell the two dependency worlds apart (bench artifacts stamp it
+# as `"deps": "crates.io"`).
+#
+# The edit is intentionally destructive to the working tree — CI applies it
+# to a throwaway checkout. Locally, `git checkout -- Cargo.toml Cargo.lock`
+# reverts it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sed -i \
+  -e 's#^members = \["crates/\*", "vendor/\*"\]#members = ["crates/*"]#' \
+  -e 's#^default-members = \[".", "crates/\*", "vendor/\*"\]#default-members = [".", "crates/*"]#' \
+  -e 's#^rand = { path = "vendor/rand" }#rand = "0.8"#' \
+  -e 's#^crossbeam = { path = "vendor/crossbeam" }#crossbeam = "0.8"#' \
+  -e 's#^proptest = { path = "vendor/proptest" }#proptest = "1"#' \
+  -e 's#^criterion = { path = "vendor/criterion" }#criterion = { version = "0.5", default-features = false }#' \
+  Cargo.toml
+
+if grep -q 'path = "vendor/' Cargo.toml; then
+  echo "apply-real-deps: manifest rewrite incomplete — vendored entries remain" >&2
+  exit 1
+fi
+
+rm -f Cargo.lock
+echo "apply-real-deps: workspace now resolves rand/crossbeam/proptest/criterion from crates.io"

@@ -66,7 +66,12 @@ pub fn evaluate(input: &BaselineInput) -> BaselineReport {
         .faults
         .iter()
         .map(|&(at, _cluster)| {
-            let last = times.iter().copied().take_while(|&t| t <= at).last().unwrap();
+            let last = times
+                .iter()
+                .copied()
+                .take_while(|&t| t <= at)
+                .last()
+                .unwrap();
             let lost_wall = at.saturating_since(last).as_secs_f64();
             RollbackSummary {
                 at,
@@ -112,7 +117,10 @@ mod tests {
     #[test]
     fn checkpoints_at_global_period() {
         let r = evaluate(&input(vec![]));
-        assert_eq!(r.checkpoints, 20, "600 min / 30 min (initial incl., horizon excl.)");
+        assert_eq!(
+            r.checkpoints, 20,
+            "600 min / 30 min (initial incl., horizon excl.)"
+        );
         // 200 nodes: 3*199 + 200 messages per checkpoint.
         assert_eq!(r.protocol_messages, 20 * (3 * 199 + 200));
         assert_eq!(r.peak_log_bytes, 0);
@@ -124,7 +132,10 @@ mod tests {
         // Per checkpoint: >= 4 x 150 µs + 4 MiB / 80 Mb/s (~0.42 s).
         let per = SimDuration(r.frozen_time.nanos() / r.checkpoints);
         assert!(per >= SimDuration::from_micros(600));
-        assert!(per >= SimDuration::from_millis(400), "fragment transfer dominates");
+        assert!(
+            per >= SimDuration::from_millis(400),
+            "fragment transfer dominates"
+        );
     }
 
     #[test]

@@ -233,6 +233,9 @@ mod tests {
         // Cluster 0 fell to its 30-min checkpoint (20 min lost); cluster 1
         // fell to its 37-min checkpoint, losing 13 min. 100 nodes each.
         let lost = r.rollbacks[0].lost_node_seconds;
-        assert!((lost - (20.0 + 13.0) * 60.0 * 100.0).abs() < 1.0, "lost {lost}");
+        assert!(
+            (lost - (20.0 + 13.0) * 60.0 * 100.0).abs() < 1.0,
+            "lost {lost}"
+        );
     }
 }

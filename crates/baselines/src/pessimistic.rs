@@ -133,8 +133,11 @@ mod tests {
     fn peak_log_tracks_window() {
         let r = evaluate(&input());
         // 30-minute window, one 1000-byte message per minute: ~31 KB peak.
-        assert!(r.peak_log_bytes >= 30_000 && r.peak_log_bytes <= 32_000,
-            "peak {}", r.peak_log_bytes);
+        assert!(
+            r.peak_log_bytes >= 30_000 && r.peak_log_bytes <= 32_000,
+            "peak {}",
+            r.peak_log_bytes
+        );
     }
 
     #[test]

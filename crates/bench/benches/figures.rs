@@ -84,7 +84,12 @@ fn bench_ablation_protocols(c: &mut Criterion) {
 
 fn bench_ablation_replication(c: &mut Criterion) {
     c.bench_function("ablation/replication_degree", |b| {
-        b.iter(|| black_box(experiments::ablation_replication(black_box(&[1, 2, 3]), SEED)))
+        b.iter(|| {
+            black_box(experiments::ablation_replication(
+                black_box(&[1, 2, 3]),
+                SEED,
+            ))
+        })
     });
 }
 

@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p hc3i-bench --bin hc3i_baselines -- \
 //!     [--quick] [--json PATH] [--md PATH] [--compare OLD.json] \
-//!     [--fingerprint PATH] [--seed N]
+//!     [--fail-on-regression FRAC] [--fingerprint PATH] [--seed N]
 //! ```
 //!
 //! * `--quick` trims every sweep for CI (seconds instead of minutes).
@@ -15,6 +15,12 @@
 //!   style artifacts.
 //! * `--compare OLD.json` embeds the old wall times and per-entry speedups
 //!   into the new artifacts (before/after for a perf PR).
+//! * `--fail-on-regression FRAC` (requires `--compare`) exits non-zero if
+//!   any *gated* entry — `runtime_throughput`, `channel_throughput`, or the
+//!   `event_loop_*` pair — regresses by more than `FRAC` (e.g. `0.20` =
+//!   20%) against the compare file. Gated entries are judged on events/s
+//!   (comparable between `--quick` and full runs, whose workload sizes
+//!   differ), falling back to wall time when either side lacks a rate.
 //! * `--fingerprint PATH` additionally dumps the full `RunReport` debug
 //!   output of several seeded runs — byte-identical across code changes
 //!   that preserve the determinism contract (same seed ⇒ bit-identical
@@ -122,6 +128,35 @@ fn ring_config(n: usize, nodes: u32, hours: u64, seed: u64) -> SimConfig {
     cfg
 }
 
+/// Raw shard-channel throughput: `senders` producer threads blast
+/// `per_sender` messages each through one unbounded channel while the
+/// consumer drains until disconnect. This isolates the vendored channel
+/// the sharded executor serializes on ("events" is the message count), so
+/// channel regressions show up undiluted by protocol work.
+fn channel_pump(senders: usize, per_sender: u64) -> u64 {
+    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+    let handles: Vec<_> = (0..senders as u64)
+        .map(|s| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_sender {
+                    tx.send((s << 32) | i).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut received = 0u64;
+    while rx.recv().is_ok() {
+        received += 1;
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(received, senders as u64 * per_sender);
+    received
+}
+
 /// End-to-end threaded-runtime throughput: a 64-node federation on the
 /// default shard pool, one ring-wise wave of `msgs` messages, every
 /// delivery awaited. Includes pool spawn and shutdown, so the entry
@@ -158,13 +193,18 @@ fn runtime_wave(msgs: u64) -> u64 {
 
 fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
     let reps = if quick { 1 } else { 3 };
+    // Every regression-gated entry (see `gated`) runs best-of-3 even in
+    // --quick mode: a single sample on a noisy CI runner can easily sit
+    // >20% off the reference-machine baseline and fail the gate spuriously.
+    // Each gated run is ~10-15 ms, so the extra reps cost nothing.
+    let gated_reps = reps.max(3);
     let mut entries = Vec::new();
 
     eprintln!("timing event_loop_reference…");
     entries.push(entry(
         "event_loop_reference",
         "2x100 nodes, 10 h, 103 reverse msgs, GC 2 h (~75k events)",
-        reps,
+        gated_reps,
         || simdriver::run(reference_config(seed, PiggybackMode::SnOnly)).events_processed,
     ));
 
@@ -172,7 +212,7 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
     entries.push(entry(
         "event_loop_full_ddv",
         "same reference workload under FullDdv piggybacking",
-        reps,
+        gated_reps,
         || simdriver::run(reference_config(seed, PiggybackMode::FullDdv)).events_processed,
     ));
 
@@ -196,7 +236,11 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
         },
     ));
 
-    let scaling_axis: &[usize] = if quick { &[2, 4, 8] } else { &[2, 3, 4, 6, 8, 12] };
+    let scaling_axis: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 3, 4, 6, 8, 12]
+    };
     eprintln!("timing scaling_ring ({} points)…", scaling_axis.len());
     entries.push(entry(
         "scaling_ring",
@@ -210,13 +254,31 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
         },
     ));
 
-    // The live substrate: the sharded executor end-to-end.
-    let wave = if quick { 2_000 } else { 8_000 };
+    // The channel-backed entries below also keep their full workload in
+    // --quick mode: they are gated against full-mode baseline files on
+    // events/s, so the workload per event must match.
+
+    // The shard channel in isolation (the serialization point the
+    // lock-free MPSC rewrite targets).
+    let (pump_senders, pump_msgs) = (4, 100_000);
+    eprintln!("timing channel_throughput ({pump_senders}x{pump_msgs} messages)…");
+    entries.push(entry(
+        "channel_throughput",
+        "lock-free MPSC micro: 4 producer threads into one drained channel (msgs, msgs/s)",
+        gated_reps,
+        || channel_pump(pump_senders, pump_msgs),
+    ));
+
+    // The live substrate: the sharded executor end-to-end. Full-size wave
+    // in quick mode too: a 2k-message wave is dominated by the fixed
+    // spawn/shutdown cost, which made its rate incomparable with full-mode
+    // baselines and the regression gate permanently red.
+    let wave = 8_000;
     eprintln!("timing runtime_throughput ({wave} messages)…");
     entries.push(entry(
         "runtime_throughput",
         "sharded runtime: 64 nodes on the default pool, ring wave end-to-end (msgs, msgs/s)",
-        reps,
+        gated_reps,
         || runtime_wave(wave),
     ));
 
@@ -239,19 +301,32 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
 
 // ---- artifact writers ------------------------------------------------------
 
-fn json(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f64)]>) -> String {
+/// Which dependency world produced these numbers: the offline vendored
+/// stand-ins, or the crates.io versions swapped in by the real-deps
+/// overlay. Stamped into both artifacts so CI's feature-matrix job can
+/// compare the two worlds' measurements side by side.
+fn deps_world() -> &'static str {
+    if cfg!(feature = "real-deps") {
+        "crates.io"
+    } else {
+        "vendored"
+    }
+}
+
+fn json(entries: &[Entry], quick: bool, seed: u64, old: Option<&[OldEntry]>) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": 1,\n");
-    let _ = writeln!(s, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"deps\": \"{}\",", deps_world());
     let _ = writeln!(s, "  \"seed\": {seed},");
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
-        let before = old.and_then(|o| {
-            o.iter()
-                .find(|(n, _)| n == e.name)
-                .map(|&(_, ms)| ms)
-        });
+        let before = old.and_then(|o| o.iter().find(|o| o.name == e.name).map(|o| o.wall_ms));
         s.push_str("    {");
         let _ = write!(
             s,
@@ -273,16 +348,18 @@ fn json(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f64)]>
     s
 }
 
-fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f64)]>) -> String {
+fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[OldEntry]>) -> String {
     let mut s = String::new();
     s.push_str("# Bench baselines\n\n");
     let _ = writeln!(
         s,
         "Recorded by `cargo run --release -p hc3i-bench --bin hc3i_baselines`\n\
-         (mode: {}, seed: {seed}, best-of-N wall times on the reference\n\
-         machine that produced `BASELINES.json`). Rerun with `--compare\n\
-         BASELINES.json` after a perf change to get before/after columns.\n",
-        if quick { "quick" } else { "full" }
+         (mode: {}, deps: {}, seed: {seed}, best-of-N wall times on the\n\
+         reference machine that produced `BASELINES.json`). Rerun with\n\
+         `--compare BASELINES.json` after a perf change to get before/after\n\
+         columns.\n",
+        if quick { "quick" } else { "full" },
+        deps_world()
     );
     if old.is_some() {
         s.push_str(
@@ -296,11 +373,7 @@ fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f6
         );
     }
     for e in entries {
-        let before = old.and_then(|o| {
-            o.iter()
-                .find(|(n, _)| n == e.name)
-                .map(|&(_, ms)| ms)
-        });
+        let before = old.and_then(|o| o.iter().find(|o| o.name == e.name).map(|o| o.wall_ms));
         match before {
             Some(b) => {
                 let _ = writeln!(
@@ -327,10 +400,29 @@ fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[(String, f6
     s
 }
 
-/// Extract `(name, wall_ms)` pairs from a previous `BASELINES.json` (the
-/// flat line-per-entry format written by this binary; no external JSON
-/// dependency in the offline workspace).
-fn parse_old(json: &str) -> Vec<(String, f64)> {
+/// One entry of a previous `BASELINES.json`, as far as the regression gate
+/// and the before/after columns need it.
+struct OldEntry {
+    name: String,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+/// Extract a numeric field from one flat-JSON entry line.
+fn parse_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)?;
+    let s: String = line[at + tag.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    s.parse().ok()
+}
+
+/// Parse a previous `BASELINES.json` (the flat line-per-entry format
+/// written by this binary; no external JSON dependency in the offline
+/// workspace).
+fn parse_old(json: &str) -> Vec<OldEntry> {
     let mut out = Vec::new();
     for line in json.lines() {
         let Some(name_at) = line.find("\"name\": \"") else {
@@ -341,15 +433,53 @@ fn parse_old(json: &str) -> Vec<(String, f64)> {
             continue;
         };
         let name = rest[..name_end].to_string();
-        let Some(ms_at) = line.find("\"wall_ms\": ") else {
+        let Some(wall_ms) = parse_field(line, "wall_ms") else {
             continue;
         };
-        let ms_str: String = line[ms_at + 11..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.')
-            .collect();
-        if let Ok(ms) = ms_str.parse::<f64>() {
-            out.push((name, ms));
+        out.push(OldEntry {
+            name,
+            wall_ms,
+            events_per_sec: parse_field(line, "events_per_sec").unwrap_or(0.0),
+        });
+    }
+    out
+}
+
+// ---- regression gate -------------------------------------------------------
+
+/// Entries the CI regression gate protects: the sharded-runtime and channel
+/// hot paths plus the simulator event loop.
+fn gated(name: &str) -> bool {
+    name.starts_with("event_loop") || name == "runtime_throughput" || name == "channel_throughput"
+}
+
+/// Compare gated entries against the old baselines; return the offenders as
+/// `(name, metric, regression)` where `regression` is the fractional
+/// slowdown (0.25 = 25% worse). Rates are preferred over wall times so
+/// `--quick` runs (smaller workloads, same per-event cost) gate cleanly
+/// against full-mode baseline files.
+fn regressions(entries: &[Entry], old: &[OldEntry], threshold: f64) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for e in entries.iter().filter(|e| gated(e.name)) {
+        let Some(o) = old.iter().find(|o| o.name == e.name) else {
+            continue;
+        };
+        let (slowdown, metric) = if e.events_per_sec > 0.0 && o.events_per_sec > 0.0 {
+            (
+                o.events_per_sec / e.events_per_sec - 1.0,
+                format!(
+                    "{:.0} -> {:.0} events/s",
+                    o.events_per_sec, e.events_per_sec
+                ),
+            )
+        } else {
+            (
+                e.wall_ms / o.wall_ms - 1.0,
+                format!("{:.1} -> {:.1} ms", o.wall_ms, e.wall_ms),
+            )
+        };
+        if slowdown > threshold {
+            out.push((e.name.to_string(), metric, slowdown));
         }
     }
     out
@@ -391,6 +521,7 @@ fn main() {
     let mut md_path = None;
     let mut compare_path = None;
     let mut fingerprint_path = None;
+    let mut fail_on_regression = None;
     let mut seed = experiments::DEFAULT_SEED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -400,6 +531,13 @@ fn main() {
             "--md" => md_path = it.next().cloned(),
             "--compare" => compare_path = it.next().cloned(),
             "--fingerprint" => fingerprint_path = it.next().cloned(),
+            "--fail-on-regression" => {
+                fail_on_regression = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .expect("--fail-on-regression needs a fraction, e.g. 0.20"),
+                )
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -435,5 +573,25 @@ fn main() {
     if let Some(p) = md_path {
         std::fs::write(&p, &md_text).expect("write md");
         eprintln!("wrote {p}");
+    }
+
+    if let Some(threshold) = fail_on_regression {
+        let old = old.expect("--fail-on-regression requires --compare OLD.json");
+        let offenders = regressions(&entries, old, threshold);
+        if offenders.is_empty() {
+            eprintln!(
+                "regression gate OK: no gated entry more than {:.0}% worse than the baseline",
+                threshold * 100.0
+            );
+        } else {
+            for (name, metric, slowdown) in &offenders {
+                eprintln!(
+                    "REGRESSION {name}: {metric} ({:.0}% worse, threshold {:.0}%)",
+                    slowdown * 100.0,
+                    threshold * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -297,8 +297,14 @@ pub fn ablation_protocols(seed: u64) -> Vec<ProtocolRow> {
     // Off-grid fault times (not multiples of the 30-minute checkpoint
     // period), so every protocol has genuinely lost work to recover.
     let fault_times = [
-        (SimTime::ZERO + SimDuration::from_minutes(3 * 60 + 17), 0usize),
-        (SimTime::ZERO + SimDuration::from_minutes(7 * 60 + 23), 1usize),
+        (
+            SimTime::ZERO + SimDuration::from_minutes(3 * 60 + 17),
+            0usize,
+        ),
+        (
+            SimTime::ZERO + SimDuration::from_minutes(7 * 60 + 23),
+            1usize,
+        ),
     ];
 
     // HC3I at full fidelity.
@@ -314,7 +320,12 @@ pub fn ablation_protocols(seed: u64) -> Vec<ProtocolRow> {
     let hc3i_lost: f64 = hc3i
         .clusters
         .iter()
-        .map(|c| c.work_lost.iter().map(|d| d.as_secs_f64() * 100.0).sum::<f64>())
+        .map(|c| {
+            c.work_lost
+                .iter()
+                .map(|d| d.as_secs_f64() * 100.0)
+                .sum::<f64>()
+        })
         .sum();
     let mut rows = vec![ProtocolRow {
         protocol: "hc3i".into(),
@@ -449,7 +460,12 @@ pub fn overhead_breakdown(delays_min: &[Option<u64>], seed: u64) -> Vec<Overhead
                 protocol_bytes: r.protocol_bytes,
                 ack_bytes: r.ack_bytes,
                 protocol_messages: r.protocol_messages,
-                peak_stored: r.clusters.iter().map(|c| c.peak_stored_clcs).max().unwrap_or(0),
+                peak_stored: r
+                    .clusters
+                    .iter()
+                    .map(|c| c.peak_stored_clcs)
+                    .max()
+                    .unwrap_or(0),
                 peak_logged: r.clusters.iter().map(|c| c.peak_logged_messages).sum(),
             }
         })

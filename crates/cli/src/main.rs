@@ -121,8 +121,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
 
-    let (Some(topology), Some(application), Some(timers)) = (topology, application, timers)
-    else {
+    let (Some(topology), Some(application), Some(timers)) = (topology, application, timers) else {
         return usage_error("need --topology, --application and --timers");
     };
 
@@ -136,8 +135,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
     };
     let result = (|| -> Result<(), String> {
-        let topo = workload::parse_topology(&read(&topology)?)
-            .map_err(|e| format!("{topology}: {e}"))?;
+        let topo =
+            workload::parse_topology(&read(&topology)?).map_err(|e| format!("{topology}: {e}"))?;
         let app = workload::parse_application(&read(&application)?, &topo)
             .map_err(|e| format!("{application}: {e}"))?;
         let timer_spec = workload::parse_timers(&read(&timers)?, topo.num_clusters())
@@ -173,8 +172,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         cfg = cfg.with_trace(trace);
         let (report, tracer) = simdriver::run_traced(cfg);
         if let Some(path) = &trace_file {
-            let mut f = std::fs::File::create(path)
-                .map_err(|e| format!("{path}: {e}"))?;
+            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
             let mut write_all = || -> std::io::Result<()> {
                 for rec in tracer.records() {
                     writeln!(f, "[{}] {:<9} {}", rec.at, rec.subsystem, rec.detail)?;

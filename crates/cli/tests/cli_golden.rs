@@ -25,7 +25,11 @@ fn sample_dir(tag: &str) -> PathBuf {
         .args(["sample-configs", dir.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     dir
 }
 
@@ -62,7 +66,11 @@ fn report_matches_golden_fixture_exactly() {
         .args(golden_args(&dir, &trace_path))
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let got = String::from_utf8(out.stdout).expect("utf8 report");
     let want = include_str!("golden/run_reference.stdout");
@@ -77,10 +85,17 @@ fn report_matches_golden_fixture_exactly() {
     let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
     assert_eq!(trace.lines().count(), 245, "protocol-level record count");
     assert!(
-        trace.lines().next().unwrap().contains("committed CLC 2 (forced)"),
+        trace
+            .lines()
+            .next()
+            .unwrap()
+            .contains("committed CLC 2 (forced)"),
         "first record: {trace:.120}"
     );
-    assert!(trace.contains("rollback"), "the scripted fault must be traced");
+    assert!(
+        trace.contains("rollback"),
+        "the scripted fault must be traced"
+    );
     assert!(trace.contains("gc"), "the periodic GC must be traced");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -111,7 +126,11 @@ fn contention_model_changes_delivery_timing() {
             ])
             .output()
             .expect("spawn");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         std::fs::read_to_string(&trace).expect("trace written")
     };
     // The report only aggregates counts; the protocol *timestamps* are

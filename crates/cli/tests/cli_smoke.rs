@@ -13,7 +13,11 @@ fn sample_configs_then_run() {
         .args(["sample-configs", dir.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let arg = |name: &str| dir.join(name).to_str().unwrap().to_string();
     let out = Command::new(bin())
@@ -32,10 +36,17 @@ fn sample_configs_then_run() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("HC3I simulation report"));
-    assert!(stdout.contains("rollback #1"), "fault must appear: {stdout}");
+    assert!(
+        stdout.contains("rollback #1"),
+        "fault must appear: {stdout}"
+    );
     assert!(!stdout.contains("WARNINGS"), "run must be clean: {stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -31,11 +31,7 @@ impl NodeCheckpoint {
     /// Approximate in-memory size, for storage-cost accounting.
     pub fn approx_bytes(&self) -> u64 {
         let delivered = self.delivered.len() as u64 * 32;
-        let channel: u64 = self
-            .channel_state
-            .iter()
-            .map(|(_, p)| p.bytes + 16)
-            .sum();
+        let channel: u64 = self.channel_state.iter().map(|(_, p)| p.bytes + 16).sum();
         let app = self.app_state.as_ref().map_or(0, |s| s.len() as u64);
         delivered + channel + app
     }
@@ -49,8 +45,7 @@ mod tests {
     fn approx_bytes_counts_components() {
         let mut c = NodeCheckpoint::default();
         assert_eq!(c.approx_bytes(), 0);
-        c.delivered
-            .insert((NodeId::new(0, 1), 7), SeqNum(2));
+        c.delivered.insert((NodeId::new(0, 1), 7), SeqNum(2));
         c.channel_state
             .push((NodeId::new(0, 2), AppPayload { bytes: 100, tag: 1 }));
         c.app_state = Some(vec![0; 50]);

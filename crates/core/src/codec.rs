@@ -211,13 +211,21 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             put_u64(&mut buf, *round);
             put_u64(&mut buf, *epoch);
         }
-        Msg::FragmentReplica { round, owner, epoch } => {
+        Msg::FragmentReplica {
+            round,
+            owner,
+            epoch,
+        } => {
             buf.push(T_FRAG_REPLICA);
             put_u64(&mut buf, *round);
             put_u64(&mut buf, *owner as u64);
             put_u64(&mut buf, *epoch);
         }
-        Msg::FragmentStored { round, holder, epoch } => {
+        Msg::FragmentStored {
+            round,
+            holder,
+            epoch,
+        } => {
             buf.push(T_FRAG_STORED);
             put_u64(&mut buf, *round);
             put_u64(&mut buf, *holder as u64);
@@ -243,7 +251,10 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             put_bool(&mut buf, *forced);
             put_u64(&mut buf, *epoch);
         }
-        Msg::AppIntra { payload, sent_at_sn } => {
+        Msg::AppIntra {
+            payload,
+            sent_at_sn,
+        } => {
             buf.push(T_APP_INTRA);
             put_payload(&mut buf, *payload);
             put_u64(&mut buf, sent_at_sn.0);
@@ -262,7 +273,10 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             put_bool(&mut buf, *resend);
             put_u64(&mut buf, *sender_epoch);
         }
-        Msg::InterAck { log_id, receiver_sn } => {
+        Msg::InterAck {
+            log_id,
+            receiver_sn,
+        } => {
             buf.push(T_INTER_ACK);
             put_u64(&mut buf, log_id.0);
             put_u64(&mut buf, receiver_sn.0);
@@ -447,9 +461,7 @@ pub fn decode_envelope(buf: &[u8]) -> Result<(NodeId, NodeId, Msg), DecodeError>
     let from = get_node(buf, &mut pos)?;
     let to = get_node(buf, &mut pos)?;
     let len = get_u64(buf, &mut pos)? as usize;
-    let body = buf
-        .get(pos..pos + len)
-        .ok_or(DecodeError::Truncated)?;
+    let body = buf.get(pos..pos + len).ok_or(DecodeError::Truncated)?;
     if pos + len != buf.len() {
         return Err(DecodeError::TrailingBytes(buf.len() - pos - len));
     }

@@ -138,12 +138,13 @@ mod tests {
         let mins = safe_minimum_sns(&lists);
         for faulty in 0..2 {
             let line = recovery_line(&lists, faulty);
-            assert!(crate::recovery::is_consistent_cut(&lists, &line.sns, &line.rolled_back));
+            assert!(crate::recovery::is_consistent_cut(
+                &lists,
+                &line.sns,
+                &line.rolled_back
+            ));
             for (sn, min) in line.sns.iter().zip(&mins) {
-                assert!(
-                    sn >= min,
-                    "GC would prune a CLC failure {faulty} needs"
-                );
+                assert!(sn >= min, "GC would prune a CLC failure {faulty} needs");
             }
         }
     }

@@ -220,9 +220,7 @@ impl Msg {
             Msg::InterAck { .. } => s.ack,
             Msg::FragmentReplica { .. } => s.fragment,
             Msg::ClcCommit { .. } => s.control + cfg.ddv_bytes(),
-            Msg::GcDdvList { list, .. } => {
-                s.control + list.len() as u64 * (8 + cfg.ddv_bytes())
-            }
+            Msg::GcDdvList { list, .. } => s.control + list.len() as u64 * (8 + cfg.ddv_bytes()),
             Msg::GcPrune { min_sns } => s.control + 8 * min_sns.len() as u64,
             _ => s.control,
         }

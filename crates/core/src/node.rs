@@ -324,7 +324,11 @@ impl NodeEngine {
                     self.freeze_and_stage(now, round, out);
                 }
             }
-            Msg::FragmentReplica { round, owner, epoch } => {
+            Msg::FragmentReplica {
+                round,
+                owner,
+                epoch,
+            } => {
                 if epoch == self.epoch {
                     // Store of the replica content is implicit (metadata
                     // level); confirm to the owner.
@@ -340,7 +344,11 @@ impl NodeEngine {
                     );
                 }
             }
-            Msg::FragmentStored { round, holder, epoch } => {
+            Msg::FragmentStored {
+                round,
+                holder,
+                epoch,
+            } => {
                 if epoch != self.epoch {
                     return;
                 }
@@ -388,7 +396,10 @@ impl NodeEngine {
             }
 
             // ---- application ----
-            Msg::AppIntra { payload, sent_at_sn } => {
+            Msg::AppIntra {
+                payload,
+                sent_at_sn,
+            } => {
                 if let Some(f) = self.frozen.as_mut() {
                     // Channel state: recorded in the checkpoint, delivered
                     // at commit.
@@ -434,7 +445,10 @@ impl NodeEngine {
                     self.recv_inter(now, from, payload, piggyback, log_id, out);
                 }
             }
-            Msg::InterAck { log_id, receiver_sn } => {
+            Msg::InterAck {
+                log_id,
+                receiver_sn,
+            } => {
                 // The entry may have been truncated by a sender-side
                 // rollback; a stale ack is then simply dropped.
                 let _ = self.log.ack(log_id, receiver_sn);
@@ -554,13 +568,9 @@ impl NodeEngine {
         } else {
             // Optimistic sender-side log (paper §3.3), then send with the
             // piggybacked dependency information (paper §3.2).
-            let log_id = self.log.log(
-                to.cluster.index(),
-                to.rank,
-                payload,
-                payload.bytes,
-                self.sn,
-            );
+            let log_id = self
+                .log
+                .log(to.cluster.index(), to.rank, payload, payload.bytes, self.sn);
             self.dirty = true;
             out.push(Output::Send {
                 to,
@@ -879,7 +889,12 @@ impl NodeEngine {
             }
             return;
         }
-        let restore_sn = self.store.latest().expect("initial CLC always exists").meta.sn;
+        let restore_sn = self
+            .store
+            .latest()
+            .expect("initial CLC always exists")
+            .meta
+            .sn;
         self.initiate_cluster_rollback(restore_sn, out);
     }
 

@@ -221,10 +221,7 @@ pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError>
 }
 
 /// Write a store image to a file (atomically: temp file + rename).
-pub fn save_store(
-    store: &ClcStore<NodeCheckpoint>,
-    path: &std::path::Path,
-) -> std::io::Result<()> {
+pub fn save_store(store: &ClcStore<NodeCheckpoint>, path: &std::path::Path) -> std::io::Result<()> {
     let bytes = encode_store(store);
     let tmp = path.with_extension("tmp");
     {
@@ -334,7 +331,10 @@ mod tests {
         assert!(decode_store(&bad).is_err(), "bad magic");
         let mut bad = bytes.clone();
         bad[4] = 99;
-        assert!(matches!(decode_store(&bad), Err(DecodeError::BadVersion(99))));
+        assert!(matches!(
+            decode_store(&bad),
+            Err(DecodeError::BadVersion(99))
+        ));
         let mut bad = bytes;
         bad.push(0);
         assert!(matches!(
@@ -346,10 +346,8 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let store = sample_store();
-        let path = std::env::temp_dir().join(format!(
-            "hc3i-persist-test-{}.clc",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("hc3i-persist-test-{}.clc", std::process::id()));
         save_store(&store, &path).unwrap();
         let back = load_store(&path).unwrap();
         assert!(stores_equal(&store, &back));

@@ -93,7 +93,8 @@ pub fn recovery_line_multi(lists: &[ClcList], faulty_set: &[usize]) -> RecoveryL
     // Each (cluster, restored SN) alert is emitted at most once — the pure
     // analogue of the operational protocol's per-epoch alert dedup, and
     // what terminates echo cascades.
-    let mut emitted: std::collections::HashSet<(usize, SeqNum)> = worklist.iter().copied().collect();
+    let mut emitted: std::collections::HashSet<(usize, SeqNum)> =
+        worklist.iter().copied().collect();
 
     while let Some((origin, alert_sn)) = worklist.pop() {
         for j in 0..lists.len() {

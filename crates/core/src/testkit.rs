@@ -310,10 +310,7 @@ mod tests {
         // The sender's log got the post-commit ack (local SN + 1).
         let sender = fed.engine(n(0, 1));
         assert_eq!(sender.log().len(), 1);
-        assert_eq!(
-            sender.log().iter().next().unwrap().ack_sn,
-            Some(SeqNum(2))
-        );
+        assert_eq!(sender.log().iter().next().unwrap().ack_sn, Some(SeqNum(2)));
     }
 
     #[test]
@@ -374,7 +371,11 @@ mod tests {
         let forced_before = fed.clc_counts(2).1;
         // 0 -> 2 with SN 1: already covered transitively -> NO forced CLC.
         fed.app_send(n(0, 0), n(2, 0), pay(3));
-        assert_eq!(fed.clc_counts(2).1, forced_before, "transitivity suppressed the force");
+        assert_eq!(
+            fed.clc_counts(2).1,
+            forced_before,
+            "transitivity suppressed the force"
+        );
         assert_eq!(fed.delivered_tags(n(2, 0)), vec![2, 3]);
     }
 
@@ -390,7 +391,11 @@ mod tests {
         );
         let forced_before = fed.clc_counts(2).1;
         fed.app_send(n(0, 0), n(2, 0), pay(3));
-        assert_eq!(fed.clc_counts(2).1, forced_before + 1, "direct force needed");
+        assert_eq!(
+            fed.clc_counts(2).1,
+            forced_before + 1,
+            "direct force needed"
+        );
     }
 
     // ---- rollback ----
@@ -426,10 +431,10 @@ mod tests {
     fn sender_fault_cascades_to_dependent_receiver() {
         let mut fed = two_by_three();
         fed.app_send(n(0, 1), n(1, 2), pay(5)); // cluster 1 forced CLC2, DDV[0]=1
-        // Sender cluster fails with only its initial CLC stored: restores
-        // SN 1 and loses the send. Cluster 1's CLC2 has DDV[0] = 1 >= 1 ->
-        // cluster 1 restores CLC2 itself: the forced CLC committed before
-        // the message was delivered, so its state is clean of the ghost.
+                                                // Sender cluster fails with only its initial CLC stored: restores
+                                                // SN 1 and loses the send. Cluster 1's CLC2 has DDV[0] = 1 >= 1 ->
+                                                // cluster 1 restores CLC2 itself: the forced CLC committed before
+                                                // the message was delivered, so its state is clean of the ghost.
         fed.fail_node(n(0, 0));
         assert!(fed.rollbacks.contains(&(0, SeqNum(1))));
         assert!(fed.rollbacks.contains(&(1, SeqNum(2))));
@@ -442,7 +447,10 @@ mod tests {
         );
         // The restored checkpoint's delivery record is empty: the ghost
         // message is no longer marked delivered.
-        assert_eq!(receiver.store().latest().unwrap().payload.delivered.len(), 0);
+        assert_eq!(
+            receiver.store().latest().unwrap().payload.delivered.len(),
+            0
+        );
         // The sender's log entry for the lost send was truncated.
         assert!(fed.engine(n(0, 1)).log().is_empty());
     }
@@ -452,8 +460,8 @@ mod tests {
         let mut fed = two_by_three();
         fed.app_send(n(0, 1), n(1, 2), pay(5)); // forced CLC2 in cluster 1
         fed.fire_clc_timer(0); // sender commits CLC2 *after* the send
-        // Now the send predates the sender's restored CLC2? No: the send
-        // happened at sender SN 1, before CLC2. Restoring CLC2 keeps it.
+                               // Now the send predates the sender's restored CLC2? No: the send
+                               // happened at sender SN 1, before CLC2. Restoring CLC2 keeps it.
         fed.fail_node(n(0, 0));
         assert_eq!(fed.rollbacks, vec![(0, SeqNum(2))]);
         assert_eq!(

@@ -35,22 +35,38 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
             .prop_map(|(reason, epoch)| Msg::ClcInit { reason, epoch }),
         (any::<u64>(), any::<u64>()).prop_map(|(round, epoch)| Msg::ClcRequest { round, epoch }),
         (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(round, owner, epoch)| {
-            Msg::FragmentReplica { round, owner, epoch }
+            Msg::FragmentReplica {
+                round,
+                owner,
+                epoch,
+            }
         }),
         (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(round, holder, epoch)| {
-            Msg::FragmentStored { round, holder, epoch }
+            Msg::FragmentStored {
+                round,
+                holder,
+                epoch,
+            }
         }),
-        (any::<u64>(), any::<u32>(), any::<u64>())
-            .prop_map(|(round, rank, epoch)| Msg::ClcAck { round, rank, epoch }),
-        (any::<u64>(), any::<u64>(), ddv_strategy(), any::<bool>(), any::<u64>()).prop_map(
-            |(round, sn, ddv, forced, epoch)| Msg::ClcCommit {
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(round, rank, epoch)| Msg::ClcAck {
+            round,
+            rank,
+            epoch
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            ddv_strategy(),
+            any::<bool>(),
+            any::<u64>()
+        )
+            .prop_map(|(round, sn, ddv, forced, epoch)| Msg::ClcCommit {
                 round,
                 sn: SeqNum(sn),
                 ddv: std::sync::Arc::new(ddv),
                 forced,
                 epoch,
-            }
-        ),
+            }),
         (payload_strategy(), any::<u64>()).prop_map(|(payload, sn)| Msg::AppIntra {
             payload,
             sent_at_sn: SeqNum(sn),
@@ -62,13 +78,15 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
             any::<bool>(),
             any::<u64>()
         )
-            .prop_map(|(payload, piggyback, id, resend, sender_epoch)| Msg::AppInter {
-                payload,
-                piggyback,
-                log_id: LogId(id),
-                resend,
-                sender_epoch,
-            }),
+            .prop_map(
+                |(payload, piggyback, id, resend, sender_epoch)| Msg::AppInter {
+                    payload,
+                    piggyback,
+                    log_id: LogId(id),
+                    resend,
+                    sender_epoch,
+                }
+            ),
         (any::<u64>(), any::<u64>()).prop_map(|(id, sn)| Msg::InterAck {
             log_id: LogId(id),
             receiver_sn: SeqNum(sn),

@@ -72,7 +72,12 @@ impl Tracer {
     }
 
     /// Record a protocol-level action (kept at `Protocol` and `Full`).
-    pub fn protocol(&mut self, at: SimTime, subsystem: &'static str, detail: impl FnOnce() -> String) {
+    pub fn protocol(
+        &mut self,
+        at: SimTime,
+        subsystem: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
         self.emit(TraceLevel::Protocol, at, subsystem, detail);
     }
 

@@ -46,7 +46,11 @@ impl Model {
         Some((key.0, v))
     }
     fn cancel(&mut self, seq: u64) -> bool {
-        let key = self.live.iter().find(|(&(_, s), _)| s == seq).map(|(&k, _)| k);
+        let key = self
+            .live
+            .iter()
+            .find(|(&(_, s), _)| s == seq)
+            .map(|(&k, _)| k);
         match key {
             Some(k) => {
                 self.live.remove(&k);

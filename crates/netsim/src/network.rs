@@ -126,8 +126,8 @@ impl Network {
         let depart = match self.contention {
             ContentionModel::Unlimited => now,
             ContentionModel::InterClusterFifo if from.cluster != to.cluster => {
-                let pipe =
-                    &mut self.pipe_free_at[from.cluster.index() * self.n_clusters + to.cluster.index()];
+                let pipe = &mut self.pipe_free_at
+                    [from.cluster.index() * self.n_clusters + to.cluster.index()];
                 let depart = (*pipe).max(now);
                 *pipe = depart.saturating_add(transmit);
                 depart
@@ -135,9 +135,7 @@ impl Network {
             ContentionModel::InterClusterFifo => now,
         };
 
-        let mut arrival = depart
-            .saturating_add(transmit)
-            .saturating_add(link.latency);
+        let mut arrival = depart.saturating_add(transmit).saturating_add(link.latency);
         // Enforce FIFO per directed node channel.
         let last = self
             .channel_last_arrival
@@ -182,7 +180,10 @@ impl Network {
     }
 
     /// Every `(from, to)` account cell of one class, row-major.
-    fn cells_of_class(&self, class: MessageClass) -> impl Iterator<Item = (usize, usize, &TrafficCell)> {
+    fn cells_of_class(
+        &self,
+        class: MessageClass,
+    ) -> impl Iterator<Item = (usize, usize, &TrafficCell)> {
         let n = self.n_clusters;
         let k = class_index(class);
         (0..n).flat_map(move |f| {
@@ -307,8 +308,8 @@ mod tests {
 
     #[test]
     fn inter_cluster_fifo_contention_serializes_pipe() {
-        let mut n =
-            Network::new(Topology::paper_reference(2)).with_contention(ContentionModel::InterClusterFifo);
+        let mut n = Network::new(Topology::paper_reference(2))
+            .with_contention(ContentionModel::InterClusterFifo);
         // Two 1 MB transfers from different senders share the 100 Mb/s pipe:
         // each takes 80 ms to serialize; the second departs only at 80 ms.
         let a1 = n.send(
@@ -331,8 +332,8 @@ mod tests {
 
     #[test]
     fn contention_does_not_affect_intra_cluster() {
-        let mut n =
-            Network::new(Topology::paper_reference(2)).with_contention(ContentionModel::InterClusterFifo);
+        let mut n = Network::new(Topology::paper_reference(2))
+            .with_contention(ContentionModel::InterClusterFifo);
         let a1 = n.send(
             SimTime::ZERO,
             NodeId::new(0, 0),
@@ -365,10 +366,34 @@ mod tests {
         let mut n = net();
         let c0 = ClusterId(0);
         let c1 = ClusterId(1);
-        n.send(SimTime::ZERO, NodeId::new(0, 0), NodeId::new(0, 1), 10, MessageClass::App);
-        n.send(SimTime::ZERO, NodeId::new(0, 0), NodeId::new(1, 0), 20, MessageClass::App);
-        n.send(SimTime::ZERO, NodeId::new(1, 0), NodeId::new(0, 0), 30, MessageClass::Ack);
-        n.send(SimTime::ZERO, NodeId::new(0, 1), NodeId::new(0, 2), 40, MessageClass::Protocol);
+        n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(0, 1),
+            10,
+            MessageClass::App,
+        );
+        n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            20,
+            MessageClass::App,
+        );
+        n.send(
+            SimTime::ZERO,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            30,
+            MessageClass::Ack,
+        );
+        n.send(
+            SimTime::ZERO,
+            NodeId::new(0, 1),
+            NodeId::new(0, 2),
+            40,
+            MessageClass::Protocol,
+        );
 
         assert_eq!(n.app_messages(c0, c0), 1);
         assert_eq!(n.app_messages(c0, c1), 1);

@@ -117,7 +117,10 @@ impl Topology {
     ///
     /// [`set_inter_link`]: Topology::set_inter_link
     pub fn new(clusters: Vec<ClusterSpec>, inter: LinkSpec) -> Self {
-        assert!(!clusters.is_empty(), "a federation needs at least one cluster");
+        assert!(
+            !clusters.is_empty(),
+            "a federation needs at least one cluster"
+        );
         let n = clusters.len();
         Topology {
             clusters,

@@ -21,15 +21,14 @@ fn pay(tag: u64) -> AppPayload {
 }
 
 fn spawn() -> Federation {
-    Federation::spawn(
-        RuntimeConfig::manual(vec![2, 2]).with_app(|_| Box::new(CounterApp::new())),
-    )
+    Federation::spawn(RuntimeConfig::manual(vec![2, 2]).with_app(|_| Box::new(CounterApp::new())))
 }
 
 fn wait_delivery(fed: &Federation, tag: u64) {
-    fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag)
-    })
+    fed.wait_for(
+        TICK,
+        |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag),
+    )
     .unwrap_or_else(|| panic!("delivery of {tag}"));
 }
 
@@ -46,7 +45,14 @@ fn app_state_restored_to_checkpoint_then_replayed_forward() {
     // Checkpoint cluster 1 now: this CLC captures count=1 (tag 1 applied).
     fed.checkpoint_now(1);
     fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::Committed { cluster: 1, forced: false, .. })
+        matches!(
+            e,
+            RtEvent::Committed {
+                cluster: 1,
+                forced: false,
+                ..
+            }
+        )
     })
     .expect("manual checkpoint");
 
@@ -70,7 +76,10 @@ fn app_state_restored_to_checkpoint_then_replayed_forward() {
 
     // Final state: tag 1 (from the restored checkpoint) + tag 2 (replayed)
     // applied exactly once each.
-    assert_eq!(counter.count, 2, "exactly two deliveries in the final state");
+    assert_eq!(
+        counter.count, 2,
+        "exactly two deliveries in the final state"
+    );
     let mut expected = CounterApp::new();
     expected.on_deliver(n(0, 0), pay(1));
     expected.on_deliver(n(0, 0), pay(2));
@@ -109,9 +118,10 @@ fn unaffected_cluster_keeps_its_state() {
     // Fault in cluster 1 (no dependencies anywhere).
     fed.fail(n(1, 1));
     fed.detect(n(1, 0), 1);
-    fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::RolledBack { node, .. } if node.cluster.0 == 1)
-    })
+    fed.wait_for(
+        TICK,
+        |e| matches!(e, RtEvent::RolledBack { node, .. } if node.cluster.0 == 1),
+    )
     .expect("cluster 1 recovery");
 
     let state = fed.shutdown_with_apps();

@@ -52,15 +52,19 @@ fn refailure_right_after_recovery_is_redetected() {
     let victim = n(0, 2);
     for round in 0..3 {
         fed.fail(victim);
-        fed.wait_for(Duration::from_secs(10), |e| {
-            matches!(e, RtEvent::RolledBack { node, .. } if *node == victim)
-        })
+        fed.wait_for(
+            Duration::from_secs(10),
+            |e| matches!(e, RtEvent::RolledBack { node, .. } if *node == victim),
+        )
         .unwrap_or_else(|| panic!("round {round}: failure must be (re-)detected"));
         // Settle the rollback, then refail without waiting out a period.
         fed.quiesce(2, Duration::from_secs(5));
     }
     let engines = fed.shutdown();
-    assert!(!engines[&victim].is_failed(), "revived after the last round");
+    assert!(
+        !engines[&victim].is_failed(),
+        "revived after the last round"
+    );
 }
 
 #[test]

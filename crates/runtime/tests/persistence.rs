@@ -14,24 +14,24 @@ fn engine_store_survives_a_disk_round_trip() {
 
     // Build up real state: a forced CLC with an app snapshot inside.
     fed.send_app(n(0, 0), n(1, 1), AppPayload { bytes: 128, tag: 1 });
-    fed.wait_for(Duration::from_secs(5), |e| {
-        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
-    })
+    fed.wait_for(
+        Duration::from_secs(5),
+        |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1),
+    )
     .expect("delivery");
     fed.checkpoint_now(1);
-    fed.wait_for(Duration::from_secs(5), |e| {
-        matches!(e, RtEvent::Committed { cluster: 1, sn, .. } if *sn == SeqNum(3))
-    })
+    fed.wait_for(
+        Duration::from_secs(5),
+        |e| matches!(e, RtEvent::Committed { cluster: 1, sn, .. } if *sn == SeqNum(3)),
+    )
     .expect("second checkpoint");
 
     let engines = fed.shutdown();
     let store = engines[&n(1, 1)].store();
     assert_eq!(store.len(), 3, "initial + forced + manual");
 
-    let path = std::env::temp_dir().join(format!(
-        "hc3i-runtime-persist-{}.clc",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("hc3i-runtime-persist-{}.clc", std::process::id()));
     persist::save_store(store, &path).expect("save");
     let restored = persist::load_store(&path).expect("load");
     std::fs::remove_file(&path).ok();

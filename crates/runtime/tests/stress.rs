@@ -55,7 +55,12 @@ fn traffic_wave(fed: &Federation, clusters: usize, per_cluster: u32, tag0: u64, 
 /// The stress scenario at a given scale: saturate with cross-cluster
 /// traffic, fail-stop a node and let the shard-tick heartbeat find it,
 /// then verify the federation still works and every cluster is coherent.
-fn waves_and_autonomous_recovery(clusters: usize, per_cluster: u32, wave: u64, shards: Option<usize>) {
+fn waves_and_autonomous_recovery(
+    clusters: usize,
+    per_cluster: u32,
+    wave: u64,
+    shards: Option<usize>,
+) {
     let t0 = Instant::now();
     let mut cfg = RuntimeConfig::manual(vec![per_cluster; clusters])
         .with_heartbeat(HeartbeatConfig::default());
@@ -72,9 +77,10 @@ fn waves_and_autonomous_recovery(clusters: usize, per_cluster: u32, wave: u64, s
     // controller-driven detection here.
     let victim = n((clusters as u16).saturating_sub(2), 10 % per_cluster);
     fed.fail(victim);
-    fed.wait_for(Duration::from_secs(60), |e| {
-        matches!(e, RtEvent::RolledBack { node, .. } if *node == victim)
-    })
+    fed.wait_for(
+        Duration::from_secs(60),
+        |e| matches!(e, RtEvent::RolledBack { node, .. } if *node == victim),
+    )
     .expect("heartbeat detection must roll the cluster back and revive the victim");
 
     // Let the rollback cascade finish cluster-wide before resuming

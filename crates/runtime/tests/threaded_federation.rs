@@ -24,9 +24,10 @@ fn intra_cluster_delivery() {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
     fed.send_app(n(0, 0), n(0, 1), pay(7));
     let seen = fed
-        .wait_for(TICK, |e| {
-            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7)
-        })
+        .wait_for(
+            TICK,
+            |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7),
+        )
         .expect("delivery");
     assert!(seen
         .iter()
@@ -65,7 +66,14 @@ fn inter_cluster_message_forces_clc_and_acks() {
     // events come from different nodes — accept either arrival order.
     let (mut committed, mut delivered) = (false, false);
     fed.wait_for(TICK, |e| {
-        committed |= matches!(e, RtEvent::Committed { cluster: 1, forced: true, .. });
+        committed |= matches!(
+            e,
+            RtEvent::Committed {
+                cluster: 1,
+                forced: true,
+                ..
+            }
+        );
         delivered |= matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 9);
         committed && delivered
     })
@@ -92,7 +100,14 @@ fn periodic_timer_checkpoints() {
     // Expect at least 3 timer-driven commits within a second.
     let mut commits = 0;
     let ok = fed.wait_for(TICK, |e| {
-        if matches!(e, RtEvent::Committed { cluster: 0, forced: false, .. }) {
+        if matches!(
+            e,
+            RtEvent::Committed {
+                cluster: 0,
+                forced: false,
+                ..
+            }
+        ) {
             commits += 1;
         }
         commits >= 3
@@ -105,9 +120,10 @@ fn periodic_timer_checkpoints() {
 fn receiver_fault_replays_from_sender_log() {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 3]));
     fed.send_app(n(0, 0), n(1, 2), pay(5));
-    fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 5)
-    })
+    fed.wait_for(
+        TICK,
+        |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 5),
+    )
     .expect("first delivery");
     // Fail a cluster-1 node; the cluster restores its forced CLC, whose
     // state predates the delivery; the sender must replay tag 5.
@@ -120,16 +136,21 @@ fn receiver_fault_replays_from_sender_log() {
     .expect("replayed delivery");
     let engines = fed.shutdown();
     assert!(!engines[&n(1, 1)].is_failed(), "revived");
-    assert_eq!(engines[&n(0, 0)].sn(), SeqNum(1), "sender never rolled back");
+    assert_eq!(
+        engines[&n(0, 0)].sn(),
+        SeqNum(1),
+        "sender never rolled back"
+    );
 }
 
 #[test]
 fn sender_fault_cascades_receiver_rollback() {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
     fed.send_app(n(0, 0), n(1, 0), pay(3));
-    fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 3)
-    })
+    fed.wait_for(
+        TICK,
+        |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 3),
+    )
     .expect("delivery");
     fed.fail(n(0, 1));
     fed.detect(n(0, 0), 1);
@@ -183,7 +204,11 @@ fn gc_prunes_across_threads() {
     })
     .expect("both clusters report");
     let engines = fed.shutdown();
-    assert_eq!(engines[&n(0, 1)].store().len(), 1, "independent: keep latest");
+    assert_eq!(
+        engines[&n(0, 1)].store().len(),
+        1,
+        "independent: keep latest"
+    );
     assert_eq!(engines[&n(1, 1)].store().len(), 1);
 }
 
@@ -219,9 +244,10 @@ fn duplicate_suppression_under_replay_race() {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![2, 2]));
     // Prime a dependency and ack.
     fed.send_app(n(0, 0), n(1, 0), pay(1));
-    fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
-    })
+    fed.wait_for(
+        TICK,
+        |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1),
+    )
     .expect("delivery");
     // Fail/restore the receiver twice in a row; every alert triggers a
     // replay of the same log entry — the receiver must deliver it at most
@@ -229,9 +255,10 @@ fn duplicate_suppression_under_replay_race() {
     for _ in 0..2 {
         fed.fail(n(1, 1));
         fed.detect(n(1, 0), 1);
-        fed.wait_for(TICK, |e| {
-            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1)
-        })
+        fed.wait_for(
+            TICK,
+            |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 1),
+        )
         .expect("replay after rollback");
     }
     let engines = fed.shutdown();

@@ -160,7 +160,10 @@ mod tests {
         let c = SimConfig::new(Topology::paper_reference(2), SimDuration::from_hours(1))
             .with_clc_delay(0, SimDuration::from_minutes(30))
             .with_gc_interval(SimDuration::from_hours(2))
-            .with_fault(SimTime::ZERO + SimDuration::from_minutes(5), NodeId::new(0, 3))
+            .with_fault(
+                SimTime::ZERO + SimDuration::from_minutes(5),
+                NodeId::new(0, 3),
+            )
             .with_seed(7);
         assert_eq!(c.clc_delays[0], SimDuration::from_minutes(30));
         assert!(c.clc_delays[1].is_infinite());

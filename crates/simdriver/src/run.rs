@@ -206,10 +206,7 @@ mod tests {
         let b = mk();
         assert_eq!(a.app_delivered, b.app_delivered);
         assert_eq!(a.events_processed, b.events_processed);
-        assert_eq!(
-            a.clusters[0].total_clcs(),
-            b.clusters[0].total_clcs()
-        );
+        assert_eq!(a.clusters[0].total_clcs(), b.clusters[0].total_clcs());
         assert_eq!(a.protocol_messages, b.protocol_messages);
     }
 

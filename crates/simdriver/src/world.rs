@@ -98,7 +98,10 @@ impl FederationWorld {
             offsets.push(total);
             let nodes = cfg.topology.nodes_in(netsim::ClusterId(c as u16));
             for r in 0..nodes {
-                engines.push(NodeEngine::new(cfg.protocol.clone(), NodeId::new(c as u16, r)));
+                engines.push(NodeEngine::new(
+                    cfg.protocol.clone(),
+                    NodeId::new(c as u16, r),
+                ));
             }
             total += nodes as usize;
         }
@@ -231,7 +234,9 @@ impl FederationWorld {
                         stats
                             .rollbacks
                             .push((ctx.now(), restore_sn, discarded_clcs));
-                        stats.work_lost.push(ctx.now().saturating_since(committed_at));
+                        stats
+                            .work_lost
+                            .push(ctx.now().saturating_since(committed_at));
                     }
                 }
                 Output::GcReport { before, after } => {
@@ -282,15 +287,15 @@ impl FederationWorld {
         }
         for i in 0..n {
             for j in 0..n {
-                self.stats.app_matrix[i][j] = self.net.app_messages(
-                    netsim::ClusterId(i as u16),
-                    netsim::ClusterId(j as u16),
-                );
+                self.stats.app_matrix[i][j] = self
+                    .net
+                    .app_messages(netsim::ClusterId(i as u16), netsim::ClusterId(j as u16));
             }
         }
         self.stats.protocol_messages = self.net.total_by_class(netsim::MessageClass::Protocol);
-        self.stats.protocol_bytes =
-            self.net.total_bytes_by_class(netsim::MessageClass::Protocol);
+        self.stats.protocol_bytes = self
+            .net
+            .total_bytes_by_class(netsim::MessageClass::Protocol);
         self.stats.ack_messages = self.net.total_by_class(netsim::MessageClass::Ack);
         self.stats.ack_bytes = self.net.total_bytes_by_class(netsim::MessageClass::Ack);
         self.stats.app_bytes = self.net.total_bytes_by_class(netsim::MessageClass::App);
@@ -380,8 +385,7 @@ impl World for FederationWorld {
                 let base = self.offsets[cluster];
                 {
                     let engines = &self.engines;
-                    self.reported[cluster]
-                        .retain(|&r| engines[base + r as usize].is_failed());
+                    self.reported[cluster].retain(|&r| engines[base + r as usize].is_failed());
                 }
                 if !self.cluster_engines(cluster)[failed_rank as usize].is_failed()
                     || self.reported[cluster].contains(&failed_rank)

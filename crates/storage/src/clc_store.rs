@@ -137,11 +137,7 @@ impl<T> ClcStore<T> {
     /// Discard every CLC newer than `sn` (after restoring the CLC with
     /// sequence number `sn`). Returns how many were dropped.
     pub fn truncate_after(&mut self, sn: SeqNum) -> usize {
-        let keep = self
-            .entries
-            .iter()
-            .take_while(|e| e.meta.sn <= sn)
-            .count();
+        let keep = self.entries.iter().take_while(|e| e.meta.sn <= sn).count();
         let dropped = self.entries.len() - keep;
         self.entries.truncate(keep);
         dropped

@@ -284,8 +284,8 @@ mod tests {
     #[test]
     fn sender_rollback_drops_suffix_entries() {
         let mut l = filled(); // logged at own SN 1, 2, 3
-        // Restoring CLC 2: entries logged at SN >= 2 are from the discarded
-        // suffix.
+                              // Restoring CLC 2: entries logged at SN >= 2 are from the discarded
+                              // suffix.
         assert_eq!(l.truncate_after_rollback(SeqNum(2)), 2);
         assert_eq!(l.len(), 1);
         assert_eq!(l.iter().next().unwrap().payload, "m1");

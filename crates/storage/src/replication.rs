@@ -133,7 +133,10 @@ mod tests {
     fn degree_two_survives_adjacent_pairs() {
         let p = ReplicationPolicy::with_degree(2);
         assert!(p.recoverable(&[3, 4], 10));
-        assert!(!p.recoverable(&[3, 4, 5], 10), "three consecutive exceed degree 2");
+        assert!(
+            !p.recoverable(&[3, 4, 5], 10),
+            "three consecutive exceed degree 2"
+        );
         assert_eq!(p.guaranteed_faults(10), 2);
     }
 
@@ -147,6 +150,9 @@ mod tests {
     fn degenerate_cluster_sizes() {
         let p = ReplicationPolicy::paper_default();
         assert_eq!(p.guaranteed_faults(1), 0);
-        assert!(!p.recoverable(&[0], 1), "lone node has nowhere to replicate");
+        assert!(
+            !p.recoverable(&[0], 1),
+            "lone node has nowhere to replicate"
+        );
     }
 }

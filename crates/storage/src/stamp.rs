@@ -116,10 +116,7 @@ impl Ddv {
     /// `other`?). Used by consistency checks.
     pub fn dominated_by(&self, other: &Ddv) -> bool {
         assert_eq!(self.entries.len(), other.entries.len());
-        self.entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a <= b)
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 
     /// Iterate entries in cluster order.
@@ -193,7 +190,10 @@ mod tests {
         let c = Ddv::from_entries(vec![SeqNum(0), SeqNum(9)]);
         assert!(a.dominated_by(&b));
         assert!(!b.dominated_by(&a));
-        assert!(!a.dominated_by(&c) && !c.dominated_by(&a), "incomparable pair");
+        assert!(
+            !a.dominated_by(&c) && !c.dominated_by(&a),
+            "incomparable pair"
+        );
         assert!(a.dominated_by(&a), "reflexive");
     }
 

@@ -133,8 +133,7 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
                         .get(2)
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| err(ln, "inter needs: a b latency bandwidth"))?;
-                    let link =
-                        parse_link(&tok[3..]).ok_or_else(|| err(ln, "bad link spec"))?;
+                    let link = parse_link(&tok[3..]).ok_or_else(|| err(ln, "bad link spec"))?;
                     inter.push((a, b, link));
                 }
             }
@@ -151,7 +150,10 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
 
     let n = n_clusters.ok_or_else(|| err(0, "missing `clusters`"))?;
     if nodes.len() != n {
-        return Err(err(0, format!("expected {n} node counts, got {}", nodes.len())));
+        return Err(err(
+            0,
+            format!("expected {n} node counts, got {}", nodes.len()),
+        ));
     }
     let clusters: Vec<ClusterSpec> = nodes
         .iter()
@@ -236,9 +238,7 @@ pub fn parse_application(
                     return Err(err(ln, format!("pattern row needs {n} probabilities")));
                 }
                 for (j, s) in tok[2..].iter().enumerate() {
-                    pattern[c][j] = s
-                        .parse()
-                        .map_err(|_| err(ln, "bad probability"))?;
+                    pattern[c][j] = s.parse().map_err(|_| err(ln, "bad probability"))?;
                 }
             }
             other => return Err(err(ln, format!("unknown keyword `{other}`"))),
@@ -265,9 +265,7 @@ pub fn parse_application(
     {
         return Err(err(0, "pattern row missing for some cluster"));
     }
-    workload
-        .validate()
-        .map_err(|m| err(0, m))?;
+    workload.validate().map_err(|m| err(0, m))?;
     Ok(workload)
 }
 
@@ -364,7 +362,10 @@ mtbf inf
         let e = parse_topology("banana 1\n").unwrap_err();
         assert!(e.message.contains("banana"));
         assert!(parse_topology("nodes 4\n").is_err(), "missing clusters");
-        assert!(parse_topology("clusters 2\nnodes 4\n").is_err(), "count mismatch");
+        assert!(
+            parse_topology("clusters 2\nnodes 4\n").is_err(),
+            "count mismatch"
+        );
     }
 
     #[test]
@@ -391,7 +392,10 @@ mtbf inf
         )
         .unwrap_err();
         assert!(e.message.contains("sums"));
-        assert!(parse_application("duration 1h\n", &topo).is_err(), "missing rows");
+        assert!(
+            parse_application("duration 1h\n", &topo).is_err(),
+            "missing rows"
+        );
     }
 
     #[test]

@@ -81,12 +81,7 @@ impl StochasticWorkload {
 }
 
 /// Pick a destination node in `cluster`, different from `from`.
-fn pick_node_in(
-    rng: &mut impl Rng,
-    cluster: usize,
-    size: u32,
-    from: NodeId,
-) -> Option<NodeId> {
+fn pick_node_in(rng: &mut impl Rng, cluster: usize, size: u32, from: NodeId) -> Option<NodeId> {
     if size == 0 {
         return None;
     }
@@ -111,8 +106,7 @@ impl Workload for StochasticWorkload {
         for (c, &size) in self.cluster_sizes.iter().enumerate() {
             for rank in 0..size {
                 let from = NodeId::new(c as u16, rank);
-                let mut rng =
-                    streams.stream("workload.node", (c as u64) << 32 | rank as u64);
+                let mut rng = streams.stream("workload.node", (c as u64) << 32 | rank as u64);
                 let mut t = SimTime::ZERO;
                 loop {
                     let step = exponential(&mut rng, self.compute_mean_secs[c]);
@@ -201,8 +195,7 @@ impl Workload for TargetCountWorkload {
                     let at = SimTime(rng.gen_range(0..span.max(1)));
                     let from_rank = rng.gen_range(0..self.cluster_sizes[i]);
                     let from = NodeId::new(i as u16, from_rank);
-                    let Some(to) = pick_node_in(&mut rng, j, self.cluster_sizes[j], from)
-                    else {
+                    let Some(to) = pick_node_in(&mut rng, j, self.cluster_sizes[j], from) else {
                         continue;
                     };
                     events.push(SendEvent {

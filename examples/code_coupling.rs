@@ -50,9 +50,7 @@ fn build_config(piggyback: PiggybackMode) -> SimConfig {
         .with_clc_delay(2, SimDuration::from_minutes(45))
         .with_gc_interval(SimDuration::from_hours(1))
         .with_sends(sends)
-        .with_protocol(
-            ProtocolConfig::new(vec![40, 20, 8]).with_piggyback(piggyback),
-        )
+        .with_protocol(ProtocolConfig::new(vec![40, 20, 8]).with_piggyback(piggyback))
         .with_seed(7)
 }
 
@@ -83,7 +81,10 @@ fn main() {
     let full_ddv = simdriver::run(build_config(PiggybackMode::FullDdv));
 
     describe("SN-only piggybacking (the paper's protocol)", &sn_only);
-    describe("full-DDV piggybacking (the paper's §7 extension)", &full_ddv);
+    describe(
+        "full-DDV piggybacking (the paper's §7 extension)",
+        &full_ddv,
+    );
 
     let f_sn: u64 = sn_only.clusters.iter().map(|c| c.forced_clcs).sum();
     let f_ddv: u64 = full_ddv.clusters.iter().map(|c| c.forced_clcs).sum();

@@ -29,7 +29,12 @@ fn show(fed: &InstantFederation, caption: &str) {
                 )
             })
             .collect();
-        println!("  C{c}: SN={} DDV={} stored: {}", e.sn(), e.ddv(), stored.join(" "));
+        println!(
+            "  C{c}: SN={} DDV={} stored: {}",
+            e.sn(),
+            e.ddv(),
+            stored.join(" ")
+        );
     }
     println!();
 }
@@ -79,7 +84,10 @@ fn main() {
     println!("rollback log (cluster, restored SN): {:?}", fed.rollbacks);
     println!(
         "deliveries after recovery (tags): {:?}",
-        fed.deliveries.iter().map(|d| d.payload.tag).collect::<Vec<_>>()
+        fed.deliveries
+            .iter()
+            .map(|d| d.payload.tag)
+            .collect::<Vec<_>>()
     );
     assert_eq!(fed.late_crossings, 0);
     assert!(

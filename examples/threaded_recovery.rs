@@ -27,11 +27,19 @@ fn main() {
 
     // A cross-cluster message: the receiver cluster must force a CLC
     // before delivering it.
-    fed.send_app(n(0, 1), n(1, 2), AppPayload { bytes: 4096, tag: 7 });
+    fed.send_app(
+        n(0, 1),
+        n(1, 2),
+        AppPayload {
+            bytes: 4096,
+            tag: 7,
+        },
+    );
     let events = fed
-        .wait_for(tick, |e| {
-            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7)
-        })
+        .wait_for(
+            tick,
+            |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7),
+        )
         .expect("delivery");
     for e in &events {
         println!("  {e:?}");
@@ -45,9 +53,10 @@ fn main() {
     // The cluster rolls back to the forced CLC (whose state predates the
     // delivery), and the sender's log replays tag 7.
     let events = fed
-        .wait_for(tick, |e| {
-            matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7)
-        })
+        .wait_for(
+            tick,
+            |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == 7),
+        )
         .expect("replayed delivery");
     for e in &events {
         println!("  {e:?}");

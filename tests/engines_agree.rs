@@ -43,9 +43,7 @@ fn run_instant(steps: &[Step]) -> InstantFederation {
     let mut fed = InstantFederation::new(ProtocolConfig::new(vec![3, 3]));
     for s in steps {
         match *s {
-            Step::Send(from, to, tag) => {
-                fed.app_send(from, to, AppPayload { bytes: 512, tag })
-            }
+            Step::Send(from, to, tag) => fed.app_send(from, to, AppPayload { bytes: 512, tag }),
             Step::Checkpoint(c) => fed.fire_clc_timer(c),
             Step::Fault(node) => fed.fail_node(node),
             Step::Gc => fed.run_gc(),
@@ -58,7 +56,10 @@ fn run_instant(steps: &[Step]) -> InstantFederation {
 /// independent of how the executor multiplexes nodes onto workers.
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
-fn run_threaded(steps: &[Step], shards: usize) -> std::collections::HashMap<NodeId, hc3i::core::NodeEngine> {
+fn run_threaded(
+    steps: &[Step],
+    shards: usize,
+) -> std::collections::HashMap<NodeId, hc3i::core::NodeEngine> {
     let fed = Federation::spawn(RuntimeConfig::manual(vec![3, 3]).with_shards(shards));
     for s in steps {
         // The instant federation runs each step to quiescence; mirror that
@@ -69,25 +70,28 @@ fn run_threaded(steps: &[Step], shards: usize) -> std::collections::HashMap<Node
         match *s {
             Step::Send(from, to, tag) => {
                 fed.send_app(from, to, AppPayload { bytes: 512, tag });
-                fed.wait_for(TICK, |e| {
-                    matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag)
-                })
+                fed.wait_for(
+                    TICK,
+                    |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag),
+                )
                 .unwrap_or_else(|| panic!("delivery of tag {tag}"));
             }
             Step::Checkpoint(c) => {
                 fed.checkpoint_now(c);
-                fed.wait_for(TICK, |e| {
-                    matches!(e, RtEvent::Committed { cluster, .. } if *cluster == c)
-                })
+                fed.wait_for(
+                    TICK,
+                    |e| matches!(e, RtEvent::Committed { cluster, .. } if *cluster == c),
+                )
                 .expect("commit");
             }
             Step::Fault(node) => {
                 fed.fail(node);
                 let detector = n(node.cluster.0, if node.rank == 0 { 1 } else { 0 });
                 fed.detect(detector, node.rank);
-                fed.wait_for(TICK, |e| {
-                    matches!(e, RtEvent::RolledBack { node: nn, .. } if *nn == node)
-                })
+                fed.wait_for(
+                    TICK,
+                    |e| matches!(e, RtEvent::RolledBack { node: nn, .. } if *nn == node),
+                )
                 .expect("rollback revives the failed node");
             }
             Step::Gc => {
@@ -128,7 +132,11 @@ fn instant_and_threaded_reach_the_same_protocol_state() {
                     b.store().ddv_list(),
                     "{id} @ {shards} shards: stored CLC stamps mismatch"
                 );
-                assert_eq!(a.epoch(), b.epoch(), "{id} @ {shards} shards: epoch mismatch");
+                assert_eq!(
+                    a.epoch(),
+                    b.epoch(),
+                    "{id} @ {shards} shards: epoch mismatch"
+                );
                 assert_eq!(
                     a.log().len(),
                     b.log().len(),

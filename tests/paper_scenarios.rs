@@ -110,9 +110,7 @@ fn figure8_cluster0_unaffected_by_cluster1_timer() {
     // cluster 1 to cluster 0."
     let slow = reference_run(Some(30), Some(60), 11, None);
     let fast = reference_run(Some(30), Some(15), 11, None);
-    let diff = (slow.clusters[0].total_clcs() as i64
-        - fast.clusters[0].total_clcs() as i64)
-        .abs();
+    let diff = (slow.clusters[0].total_clcs() as i64 - fast.clusters[0].total_clcs() as i64).abs();
     assert!(diff <= 1, "cluster 0 CLC count moved by {diff}");
     assert!(
         fast.clusters[1].total_clcs() > slow.clusters[1].total_clcs(),
@@ -283,11 +281,7 @@ fn detect_faults_multi_failure_sweep() {
 fn full_ddv_reduces_forced_clcs_on_ring() {
     // The §7 transitivity extension on a 3-cluster ring with second-hop
     // traffic: strictly fewer (or equal) forced CLCs.
-    let counts = vec![
-        vec![300, 40, 15],
-        vec![15, 300, 40],
-        vec![40, 15, 300],
-    ];
+    let counts = vec![vec![300, 40, 15], vec![15, 300, 40], vec![40, 15, 300]];
     let w = TargetCountWorkload {
         cluster_sizes: vec![50, 50, 50],
         duration: SimDuration::from_hours(10),
@@ -320,7 +314,10 @@ fn full_ddv_reduces_forced_clcs_on_ring() {
     let full = run_mode(PiggybackMode::FullDdv);
     let f_sn: u64 = sn_only.clusters.iter().map(|c| c.forced_clcs).sum();
     let f_ddv: u64 = full.clusters.iter().map(|c| c.forced_clcs).sum();
-    assert!(f_ddv <= f_sn, "transitivity must not force more: {f_ddv} vs {f_sn}");
+    assert!(
+        f_ddv <= f_sn,
+        "transitivity must not force more: {f_ddv} vs {f_sn}"
+    );
     assert_eq!(full.app_delivered, full.app_sent);
 }
 

@@ -31,7 +31,10 @@ const TICK: Duration = Duration::from_secs(10);
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn node(i: usize) -> NodeId {
-    NodeId::new((i / PER_CLUSTER as usize) as u16, (i % PER_CLUSTER as usize) as u32)
+    NodeId::new(
+        (i / PER_CLUSTER as usize) as u16,
+        (i % PER_CLUSTER as usize) as u32,
+    )
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -121,9 +124,8 @@ fn sim_fingerprint(steps: &[Step]) -> Fingerprint {
 }
 
 fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
-    let fed = Federation::spawn(
-        RuntimeConfig::manual(vec![PER_CLUSTER; CLUSTERS]).with_shards(shards),
-    );
+    let fed =
+        Federation::spawn(RuntimeConfig::manual(vec![PER_CLUSTER; CLUSTERS]).with_shards(shards));
     let mut events: Vec<RtEvent> = Vec::new();
     let wait = |fed: &Federation, what: &str, mut pred: Box<dyn FnMut(&RtEvent) -> bool>| {
         fed.wait_for(TICK, |e| pred(e))
@@ -136,7 +138,11 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
         match *s {
             Step::Send { from, to } => {
                 let tag = k as u64;
-                fed.send_app(node(from), node(to), hc3i::core::AppPayload { bytes: 512, tag });
+                fed.send_app(
+                    node(from),
+                    node(to),
+                    hc3i::core::AppPayload { bytes: 512, tag },
+                );
                 events.extend(wait(
                     &fed,
                     "delivery",
@@ -165,9 +171,7 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
                 events.extend(wait(
                     &fed,
                     "rollback",
-                    Box::new(move |e| {
-                        matches!(e, RtEvent::RolledBack { node: n, .. } if *n == v)
-                    }),
+                    Box::new(move |e| matches!(e, RtEvent::RolledBack { node: n, .. } if *n == v)),
                 ));
             }
             Step::Gc => {
@@ -186,14 +190,20 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
             }
         }
     }
-    assert_eq!(fed.quiesce(4, TICK), NODES, "final barrier @ {shards} shards");
+    assert_eq!(
+        fed.quiesce(4, TICK),
+        NODES,
+        "final barrier @ {shards} shards"
+    );
     events.extend(fed.drain_events());
     let engines = fed.shutdown();
 
     let mut clusters = vec![(0u64, 0u64, Vec::new(), 0usize, 0usize); CLUSTERS];
     for e in &events {
         match e {
-            RtEvent::Committed { cluster, forced, .. } => {
+            RtEvent::Committed {
+                cluster, forced, ..
+            } => {
                 if *forced {
                     clusters[*cluster].1 += 1;
                 } else {

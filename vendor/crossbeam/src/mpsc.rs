@@ -1,0 +1,695 @@
+//! Lock-free multi-producer single-consumer channel core.
+//!
+//! This replaces the original `Mutex<VecDeque>` + `Condvar` stand-in, whose
+//! global lock made every cross-shard `send` serialize on the receiving
+//! shard's mutex (the ROADMAP's "shard-channel contention" item). The new
+//! core is a Michael–Scott-style queue over **linked blocks** of slots
+//! instead of individual nodes, in the spirit of the real
+//! `crossbeam-channel` "list" flavor:
+//!
+//! * The queue is a singly-linked chain of fixed-size blocks
+//!   (`BLOCK_CAP` slots each). Producers claim a slot with one
+//!   compare-and-swap on a global tail index, write the message into the
+//!   claimed slot, and flip the slot's `ready` bit — no lock, no allocation
+//!   for `BLOCK_CAP`−1 out of every `BLOCK_CAP` sends.
+//! * The producer that claims the *last* slot of a block installs the next
+//!   block (pre-allocated outside the CAS loop) and bumps the tail index
+//!   past a reserved *marker offset*, so the chain grows without ever
+//!   blocking other producers for more than a few spins.
+//! * The single consumer owns the head cursor outright (plain, non-atomic
+//!   loads and stores through [`UnsafeCell`]): a `recv` is slot reads plus
+//!   one atomic tail load — no read-modify-write at all. Exhausted blocks
+//!   are freed by the consumer as it crosses block boundaries.
+//! * Blocking receives use a **parked-receiver wakeup path**: the consumer
+//!   publishes a `parked` flag plus its thread handle and calls
+//!   [`std::thread::park_timeout`]; a producer checks the flag *after*
+//!   publishing its message (with a `SeqCst` fence pairing the
+//!   store/load on both sides, the classic Dekker handshake) and unparks.
+//!   The flag is almost always clear on a busy channel, so the hot send
+//!   path never touches the (cold-path-only) park-slot mutex.
+//!
+//! FIFO is global arrival order, exactly like the old MPMC stand-in: the
+//! tail CAS linearizes sends, so per-sender FIFO — the paper's network
+//! assumption the sharded runtime relies on — holds a fortiori.
+//!
+//! The public surface matches the `crossbeam-channel` subset the workspace
+//! uses (`unbounded`, `Sender`, `Receiver`, `recv`/`recv_timeout`/
+//! `recv_deadline`/`try_recv`, iterators, and the error enums), except
+//! that `Receiver` is intentionally neither `Clone` nor `Sync` — the
+//! single-consumer contract is enforced by the type system. Nothing in
+//! this workspace cloned or shared a receiver, and the real
+//! `crossbeam-channel` API is a superset, so `--features real-deps`
+//! builds compile against crates.io crossbeam unchanged.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+/// Slots per block, plus one reserved *marker* offset (see `LAP`).
+const BLOCK_CAP: usize = 31;
+/// Index stride per block: indices with `index % LAP == BLOCK_CAP` are the
+/// reserved marker offsets that signal "the next block is being installed".
+const LAP: usize = 32;
+
+/// One message slot: the payload plus a `ready` bit the producer flips
+/// once the write is complete (the consumer spins on it in the rare case
+/// it catches a producer between claiming and writing).
+struct Slot<T> {
+    msg: UnsafeCell<MaybeUninit<T>>,
+    ready: AtomicBool,
+}
+
+/// A fixed-size segment of the queue.
+struct Block<T> {
+    slots: [Slot<T>; BLOCK_CAP],
+    next: AtomicPtr<Block<T>>,
+}
+
+impl<T> Block<T> {
+    /// A fresh all-zero block (`ready` bits clear, `next` null, messages
+    /// uninitialized — all valid zero patterns).
+    fn boxed() -> Box<Block<T>> {
+        unsafe { Box::new(MaybeUninit::<Block<T>>::zeroed().assume_init()) }
+    }
+}
+
+/// Exponential spin that degrades to `yield_now` so single-core machines
+/// make progress while another thread holds the resource being awaited.
+struct Backoff(u32);
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff(0)
+    }
+
+    fn snooze(&mut self) {
+        if self.0 < 6 {
+            for _ in 0..(1u32 << self.0) {
+                std::hint::spin_loop();
+            }
+            self.0 += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+}
+
+/// The shared channel state.
+struct Channel<T> {
+    /// Next index to be claimed by a producer (marker offsets are skipped).
+    tail_index: AtomicUsize,
+    /// Block holding the slot at `tail_index` (null until the first send).
+    tail_block: AtomicPtr<Block<T>>,
+    /// Consumer-owned head cursor (plain accesses: the `Receiver` is the
+    /// unique consumer and is `!Sync`).
+    head_index: UnsafeCell<usize>,
+    /// Block holding the slot at `head_index`. Written once by the producer
+    /// that installs the *first* block (so the consumer starts at the front
+    /// of the chain, not wherever the tail has advanced to), thereafter
+    /// only by the consumer as it crosses block boundaries.
+    head_block: AtomicPtr<Block<T>>,
+    /// Live `Sender` clones; 0 means disconnected for the receiver.
+    senders: AtomicUsize,
+    /// Receiver still alive? Cleared on `Receiver::drop`; senders fail fast.
+    receiver_alive: AtomicBool,
+    /// Set by the consumer just before parking; producers check it after
+    /// publishing (both sides fence `SeqCst`, so at least one of "producer
+    /// sees parked" / "consumer sees message" always holds).
+    parked: AtomicBool,
+    /// The parked consumer's thread handle. Only locked on the park/wake
+    /// cold path, never on a hot send.
+    park_slot: Mutex<Option<Thread>>,
+}
+
+unsafe impl<T: Send> Send for Channel<T> {}
+unsafe impl<T: Send> Sync for Channel<T> {}
+
+/// Create an unbounded lock-free MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Channel {
+        tail_index: AtomicUsize::new(0),
+        tail_block: AtomicPtr::new(ptr::null_mut()),
+        head_index: UnsafeCell::new(0),
+        head_block: AtomicPtr::new(ptr::null_mut()),
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicBool::new(true),
+        parked: AtomicBool::new(false),
+        park_slot: Mutex::new(None),
+    });
+    (
+        Sender { chan: chan.clone() },
+        Receiver {
+            chan,
+            _not_sync: PhantomData,
+        },
+    )
+}
+
+impl<T> Channel<T> {
+    /// Producer path: claim a slot, write, publish, wake a parked receiver.
+    fn push(&self, value: T) {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail_index.load(Ordering::Acquire);
+        let mut block = self.tail_block.load(Ordering::Acquire);
+        let mut next_block: Option<Box<Block<T>>> = None;
+        loop {
+            let offset = tail % LAP;
+            if offset == BLOCK_CAP {
+                // Another producer claimed the last slot and is installing
+                // the next block; wait for the index to move past the
+                // marker. (Index load first: its Release store ordered
+                // after the block store, so a fresh index implies a fresh
+                // block pointer.)
+                backoff.snooze();
+                tail = self.tail_index.load(Ordering::Acquire);
+                block = self.tail_block.load(Ordering::Acquire);
+                continue;
+            }
+            // About to claim the last slot: pre-allocate the next block
+            // outside the CAS so the marker window stays a few instructions.
+            if offset + 1 == BLOCK_CAP && next_block.is_none() {
+                next_block = Some(Block::boxed());
+            }
+            if block.is_null() {
+                // First message ever: install the first block.
+                let new = Box::into_raw(Block::boxed());
+                match self.tail_block.compare_exchange(
+                    ptr::null_mut(),
+                    new,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        // The consumer starts at the front of the chain:
+                        // publish the first block as the head block too.
+                        self.head_block.store(new, Ordering::Release);
+                        block = new;
+                    }
+                    Err(current) => {
+                        // Lost the install race; free ours and use theirs.
+                        drop(unsafe { Box::from_raw(new) });
+                        block = current;
+                    }
+                }
+                tail = self.tail_index.load(Ordering::Acquire);
+                continue;
+            }
+            match self.tail_index.compare_exchange_weak(
+                tail,
+                tail + 1,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Slot `offset` of `block` is ours. If it is the last
+                    // one, link the pre-allocated next block and move the
+                    // index past the marker before writing, so other
+                    // producers resume immediately.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = Box::into_raw(next_block.take().expect("pre-allocated above"));
+                        self.tail_block.store(next, Ordering::Release);
+                        self.tail_index.store(tail + 2, Ordering::Release);
+                        (*block).next.store(next, Ordering::Release);
+                    }
+                    let slot = &(*block).slots[offset];
+                    (*slot.msg.get()).write(value);
+                    slot.ready.store(true, Ordering::Release);
+                    // Dekker handshake with a parking consumer.
+                    fence(Ordering::SeqCst);
+                    if self.parked.load(Ordering::Relaxed) {
+                        self.wake();
+                    }
+                    return;
+                },
+                Err(current) => {
+                    tail = current;
+                    block = self.tail_block.load(Ordering::Acquire);
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Unpark the registered consumer thread (cold path).
+    fn wake(&self) {
+        let thread = self.park_slot.lock().unwrap().clone();
+        if let Some(t) = thread {
+            t.unpark();
+        }
+    }
+
+    /// Consumer path: pop the head message if one is published.
+    ///
+    /// Returns `None` when the queue is empty. Only the unique consumer may
+    /// call this (guaranteed by `Receiver: !Sync + !Clone`).
+    fn pop(&self) -> Option<T> {
+        unsafe {
+            loop {
+                let head = *self.head_index.get();
+                let block = self.head_block.load(Ordering::Acquire);
+                if block.is_null() {
+                    // First block not installed (or its installer is a few
+                    // instructions from publishing it): nothing to pop yet.
+                    return None;
+                }
+                let offset = head % LAP;
+                if offset == BLOCK_CAP {
+                    // Crossed a block boundary. The consumer only reaches a
+                    // marker index after consuming the previous slot, whose
+                    // `ready` bit was set *after* the next block was linked
+                    // — so `next` is always non-null here.
+                    let next = (*block).next.load(Ordering::Acquire);
+                    debug_assert!(!next.is_null());
+                    drop(Box::from_raw(block));
+                    self.head_block.store(next, Ordering::Release);
+                    *self.head_index.get() = head + 1;
+                    continue;
+                }
+                if head == self.tail_index.load(Ordering::SeqCst) {
+                    return None;
+                }
+                // The slot is claimed; in the rare window between a
+                // producer's claim and its write, spin for the ready bit.
+                let slot = &(*block).slots[offset];
+                let mut backoff = Backoff::new();
+                while !slot.ready.load(Ordering::Acquire) {
+                    backoff.snooze();
+                }
+                let value = (*slot.msg.get()).assume_init_read();
+                *self.head_index.get() = head + 1;
+                return Some(value);
+            }
+        }
+    }
+
+    /// Consumer-side quick emptiness probe (used in the park handshake).
+    fn maybe_nonempty(&self) -> bool {
+        let head = unsafe { *self.head_index.get() };
+        head != self.tail_index.load(Ordering::SeqCst)
+    }
+
+    fn disconnected(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+
+    /// Park the consumer until a message might be available, `deadline`
+    /// passes, or the channel disconnects. May wake spuriously.
+    fn park(&self, deadline: Option<Instant>) {
+        {
+            let mut slot = self.park_slot.lock().unwrap();
+            let replace = match &*slot {
+                Some(t) => t.id() != thread::current().id(),
+                None => true,
+            };
+            if replace {
+                *slot = Some(thread::current());
+            }
+        }
+        self.parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Re-check after publishing the flag: a producer that published
+        // before our fence is visible now; one that publishes after it will
+        // see the flag and unpark us.
+        if self.maybe_nonempty() || self.disconnected() {
+            self.parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if !remaining.is_zero() {
+                    thread::park_timeout(remaining);
+                }
+            }
+            None => thread::park(),
+        }
+        self.parked.store(false, Ordering::SeqCst);
+    }
+}
+
+impl<T> Drop for Channel<T> {
+    fn drop(&mut self) {
+        // Sole owner: drain unconsumed messages, then free the last block.
+        while self.pop().is_some() {}
+        let block = *self.head_block.get_mut();
+        if !block.is_null() {
+            drop(unsafe { Box::from_raw(block) });
+        }
+    }
+}
+
+/// The sending half of a channel. Cloneable and shareable across threads.
+pub struct Sender<T> {
+    chan: Arc<Channel<T>>,
+}
+
+/// The receiving half of a channel: the unique consumer (neither `Clone`
+/// nor `Sync`; it may be *moved* to another thread freely).
+pub struct Receiver<T> {
+    chan: Arc<Channel<T>>,
+    /// Opt out of `Sync` (a `&Receiver` must not let two threads pop
+    /// concurrently — the head cursor is plain, not atomic).
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`] and
+/// [`Receiver::recv_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the timeout elapsed.
+    Timeout,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake a parked receiver unconditionally so
+            // it observes the disconnect (drop-while-parked shutdown).
+            fence(Ordering::SeqCst);
+            self.chan.wake();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.receiver_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; fails only if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if !self.chan.receiver_alive.load(Ordering::Acquire) {
+            return Err(SendError(value));
+        }
+        self.chan.push(value);
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            if let Some(v) = self.chan.pop() {
+                return Ok(v);
+            }
+            if self.chan.disconnected() {
+                // One final pop: a sender may have pushed right before its
+                // drop decremented the counter.
+                return self.chan.pop().ok_or(RecvError);
+            }
+            self.chan.park(None);
+        }
+    }
+
+    /// Block until a message arrives, the timeout elapses, or all senders
+    /// disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Block until a message arrives, `deadline` passes, or all senders
+    /// disconnect (the `crossbeam-channel` `recv_deadline` API; used by
+    /// the sharded runtime executor, whose workers wait on the earliest of
+    /// many per-node timer deadlines). A queued message is returned even
+    /// when the deadline has already passed.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        loop {
+            if let Some(v) = self.chan.pop() {
+                return Ok(v);
+            }
+            if self.chan.disconnected() {
+                return self.chan.pop().ok_or(RecvTimeoutError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            self.chan.park(Some(deadline));
+        }
+    }
+
+    /// Pop a message if one is already queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match self.chan.pop() {
+            Some(v) => Ok(v),
+            None if self.chan.disconnected() => self.chan.pop().ok_or(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Iterator draining only the messages already queued, without
+    /// blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
+    /// Blocking iterator: yields until all senders disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Non-blocking draining iterator (see [`Receiver::try_iter`]).
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Blocking iterator (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn crosses_many_block_boundaries() {
+        // > BLOCK_CAP messages several times over, interleaving send/recv
+        // phases so the head crosses block boundaries in both the drained
+        // and the backlogged regime.
+        let (tx, rx) = unbounded();
+        let mut expect = 0u64;
+        for round in 1..=8u64 {
+            for i in 0..round * BLOCK_CAP as u64 {
+                tx.send(i + expect).unwrap();
+            }
+            for _ in 0..round * BLOCK_CAP as u64 {
+                assert_eq!(rx.recv(), Ok(expect));
+                expect += 1;
+            }
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+
+    #[test]
+    fn multi_producer_exactly_once_fifo_per_sender() {
+        // N senders x M messages: every message received exactly once, and
+        // each sender's messages arrive in its send order.
+        const SENDERS: usize = 8;
+        const MSGS: u64 = 5_000;
+        let (tx, rx) = unbounded::<(usize, u64)>();
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|s| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..MSGS {
+                        tx.send((s, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next_per_sender = [0u64; SENDERS];
+        let mut total = 0u64;
+        while let Ok((s, i)) = rx.recv() {
+            assert_eq!(i, next_per_sender[s], "FIFO broken for sender {s}");
+            next_per_sender[s] += 1;
+            total += 1;
+        }
+        assert_eq!(total, SENDERS as u64 * MSGS);
+        assert!(next_per_sender.iter().all(|&n| n == MSGS));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_still_drains_backlog() {
+        let (tx, rx) = unbounded::<u32>();
+        // Empty channel: a past deadline times out immediately…
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(rx.recv_deadline(past), Err(RecvTimeoutError::Timeout));
+        // …and a short future deadline times out after waiting.
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        // A queued message is returned even when the deadline has passed.
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_deadline(past), Ok(9));
+    }
+
+    #[test]
+    fn drop_while_parked_wakes_with_disconnect() {
+        // The shutdown path the sharded runtime relies on: a receiver
+        // blocked in `recv` is woken by the *last* sender dropping and
+        // observes the disconnect (after draining any backlog).
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = thread::spawn(move || {
+            let first = rx.recv();
+            let second = rx.recv();
+            (first, second)
+        });
+        thread::sleep(Duration::from_millis(20));
+        tx.send(1).unwrap();
+        drop(tx);
+        thread::sleep(Duration::from_millis(20));
+        drop(tx2);
+        assert_eq!(h.join().unwrap(), (Ok(1), Err(RecvError)));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn unconsumed_messages_are_dropped_with_the_channel() {
+        // Leak check (run under the whole suite's normal allocator): the
+        // channel drop drains heap-owning payloads without leaking them.
+        let (tx, rx) = unbounded::<String>();
+        for i in 0..1000 {
+            tx.send(format!("payload {i}")).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn receiver_moves_across_threads() {
+        // The consumer may migrate between threads (the park registration
+        // re-registers the current thread each time).
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        let rx = thread::spawn(move || {
+            assert_eq!(rx.recv(), Ok(1));
+            rx
+        })
+        .join()
+        .unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -121,7 +121,10 @@ impl<V> Union<V> {
     /// Build from `(weight, strategy)` arms. Panics if empty or all-zero.
     pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
         let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
         Union { arms, total_weight }
     }
 }

@@ -114,8 +114,7 @@ fn recorded_cases(contents: &str) -> impl Iterator<Item = u32> + '_ {
 /// a recorded failure keeps replaying even if the configured case count
 /// is later reduced).
 pub fn replay_case_count(manifest_dir: &str, test: &str, configured: u32) -> u32 {
-    let contents =
-        std::fs::read_to_string(regression_path(manifest_dir, test)).unwrap_or_default();
+    let contents = std::fs::read_to_string(regression_path(manifest_dir, test)).unwrap_or_default();
     recorded_cases(&contents)
         .map(|c| c.saturating_add(1))
         .fold(configured, u32::max)
@@ -144,10 +143,8 @@ mod tests {
 
     /// A scratch manifest dir unique to this test binary run.
     fn scratch(tag: &str) -> String {
-        let dir = std::env::temp_dir().join(format!(
-            "proptest-standin-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("proptest-standin-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("scratch dir");
         dir.to_str().expect("utf-8 temp path").to_string()
@@ -182,8 +179,7 @@ mod tests {
         persist_failure(&dir, "t", 3);
         persist_failure(&dir, "t", 9);
         persist_failure(&dir, "t", 3);
-        let contents =
-            std::fs::read_to_string(regression_path(&dir, "t")).expect("file written");
+        let contents = std::fs::read_to_string(regression_path(&dir, "t")).expect("file written");
         let cases: Vec<u32> = recorded_cases(&contents).collect();
         assert_eq!(cases, vec![3, 9]);
         assert!(
