@@ -34,7 +34,7 @@ fn deep_lists(n_clusters: usize, clcs_per_cluster: u64) -> Vec<ClcList> {
                     // Each cluster heard from its left neighbour up to k-1.
                     let left = (c + n_clusters - 1) % n_clusters;
                     ddv.set(left, SeqNum(k.saturating_sub(1)));
-                    (SeqNum(k), ddv)
+                    (SeqNum(k), std::sync::Arc::new(ddv))
                 })
                 .collect()
         })

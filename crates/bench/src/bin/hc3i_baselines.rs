@@ -191,6 +191,90 @@ fn runtime_wave(msgs: u64) -> u64 {
     msgs
 }
 
+/// GC-round micro: per-cluster CLC stores with `clcs` stamped checkpoints
+/// each; every round collects each store's `(SN, DDV)` list (`Arc`-shared
+/// — the zero-clone path this entry gates), wraps the lists in
+/// `Msg::GcDdvList` values the way coordinators answer `GcCollect`, and
+/// runs the single-failure safe-minimum analysis over all of them.
+/// "Events" is stamps visited per round × rounds.
+fn gc_round_micro(clusters: usize, clcs: u64, rounds: u64) -> u64 {
+    use hc3i_core::gc;
+    use hc3i_core::{Ddv, Msg, SeqNum};
+    use storage::{ClcMeta, ClcStore};
+
+    let stores: Vec<ClcStore<()>> = (0..clusters)
+        .map(|c| {
+            let mut store = ClcStore::new();
+            for k in 1..=clcs {
+                let mut ddv = Ddv::zeros(clusters);
+                ddv.set(c, SeqNum(k));
+                // Ring dependency: heard from the left neighbour up to k-1.
+                ddv.set((c + clusters - 1) % clusters, SeqNum(k.saturating_sub(1)));
+                store.commit(
+                    ClcMeta {
+                        sn: SeqNum(k),
+                        ddv: std::sync::Arc::new(ddv),
+                        committed_at: SimTime(k),
+                        forced: false,
+                    },
+                    (),
+                );
+            }
+            store
+        })
+        .collect();
+    let mut stamps = 0u64;
+    for _ in 0..rounds {
+        let lists: Vec<Vec<(SeqNum, std::sync::Arc<hc3i_core::Ddv>)>> = stores
+            .iter()
+            .enumerate()
+            .map(|(c, s)| {
+                // The coordinator's reply message, stamps shared in-process.
+                let msg = Msg::GcDdvList {
+                    cluster: c,
+                    list: s.ddv_list(),
+                };
+                match msg {
+                    Msg::GcDdvList { list, .. } => list,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        stamps += lists.iter().map(|l| l.len() as u64).sum::<u64>();
+        let mins = gc::safe_minimum_sns_k(&lists, 1);
+        assert_eq!(std::hint::black_box(mins).len(), clusters);
+    }
+    stamps
+}
+
+/// CLC-commit micro: a cluster whose nodes carry a populated delivery
+/// record runs `commits` full two-phase CLC rounds (freeze → fragment
+/// fan-out → ack → commit). This is the path the copy-on-write
+/// delivered-record and the batched fragment fan-out target: staging used
+/// to deep-clone the per-node `delivered` map at every freeze. "Events"
+/// is committed CLCs.
+fn clc_commit_micro(deliveries: u64, commits: u64) -> u64 {
+    use hc3i_core::testkit::InstantFederation;
+    use hc3i_core::{AppPayload, ProtocolConfig};
+
+    let mut fed = InstantFederation::new(ProtocolConfig::new(vec![4, 1]));
+    // Populate the delivery records of cluster 0's nodes with inter-cluster
+    // traffic from cluster 1.
+    for k in 0..deliveries {
+        fed.app_send(
+            NodeId::new(1, 0),
+            NodeId::new(0, (k % 4) as u32),
+            AppPayload { bytes: 64, tag: k },
+        );
+    }
+    for _ in 0..commits {
+        fed.fire_clc_timer(0);
+    }
+    let (unforced, _) = fed.clc_counts(0);
+    assert!(unforced as u64 >= commits);
+    commits
+}
+
 fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
     let reps = if quick { 1 } else { 3 };
     // Every regression-gated entry (see `gated`) runs best-of-3 even in
@@ -280,6 +364,27 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
         "sharded runtime: 64 nodes on the default pool, ring wave end-to-end (msgs, msgs/s)",
         gated_reps,
         || runtime_wave(wave),
+    ));
+
+    // The checkpoint/GC data plane in isolation (the copy-on-write
+    // refactor's two hot paths). Full workload in --quick mode too: gated
+    // on events/s against full-mode baselines.
+    let (gc_clusters, gc_clcs, gc_rounds) = (16, 64, 32);
+    eprintln!("timing gc_round ({gc_clusters} clusters x {gc_clcs} CLCs, {gc_rounds} rounds)…");
+    entries.push(entry(
+        "gc_round",
+        "GC round micro: Arc-shared DDV-list collection + k=1 safe-minimum analysis (stamps, stamps/s)",
+        gated_reps,
+        || gc_round_micro(gc_clusters, gc_clcs, gc_rounds),
+    ));
+
+    let (ckpt_deliveries, ckpt_commits) = (512, 2048);
+    eprintln!("timing clc_commit ({ckpt_deliveries} deliveries, {ckpt_commits} commits)…");
+    entries.push(entry(
+        "clc_commit",
+        "CLC 2PC micro: 4-node cluster, populated delivery record, full freeze/commit rounds (commits, commits/s)",
+        gated_reps,
+        || clc_commit_micro(ckpt_deliveries, ckpt_commits),
     ));
 
     // North-star smoke: a 100-cluster federation runs to completion.
@@ -448,9 +553,14 @@ fn parse_old(json: &str) -> Vec<OldEntry> {
 // ---- regression gate -------------------------------------------------------
 
 /// Entries the CI regression gate protects: the sharded-runtime and channel
-/// hot paths plus the simulator event loop.
+/// hot paths, the simulator event loop, and the checkpoint/GC data-plane
+/// micros (zero-clone GC stamp lists + copy-on-write CLC staging).
 fn gated(name: &str) -> bool {
-    name.starts_with("event_loop") || name == "runtime_throughput" || name == "channel_throughput"
+    name.starts_with("event_loop")
+        || name == "runtime_throughput"
+        || name == "channel_throughput"
+        || name == "gc_round"
+        || name == "clc_commit"
 }
 
 /// Compare gated entries against the old baselines; return the offenders as

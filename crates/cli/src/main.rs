@@ -8,8 +8,14 @@
 //!          [--seed N] [--fault MINUTES:CLUSTER:RANK]... [--full-ddv]
 //!          [--contention none|fifo] [--replication N]
 //!          [--trace protocol|full] [--trace-file PATH]
+//!          [--runtime [--shards N]]
 //! hc3i-sim sample-configs <dir>
 //! ```
+//!
+//! `--runtime` drives the same workload through the live sharded
+//! message-passing substrate (`runtime::Federation`) instead of the
+//! discrete-event simulator, and prints the identical report format via
+//! [`runtime::Federation::report`].
 
 use desim::{RngStreams, SimDuration, SimTime, TraceLevel};
 use hc3i_core::{PiggybackMode, ProtocolConfig, ReplicationPolicy};
@@ -37,6 +43,7 @@ usage:
            [--seed N] [--fault MIN:CLUSTER:RANK]... [--full-ddv]
            [--contention none|fifo] [--replication N]
            [--trace protocol|full] [--trace-file PATH]
+           [--runtime [--shards N]]
   hc3i-sim sample-configs DIR
 
 flags:
@@ -47,6 +54,13 @@ flags:
   --trace LEVEL      record protocol or full trace (default off)
   --trace-file PATH  write the trace to PATH instead of stdout (implies
                      --trace protocol unless a level is given)
+  --runtime          drive the live sharded substrate instead of the
+                     simulator and report via Federation::report (faults,
+                     contention and tracing are simulator-only; clusters
+                     with a finite clc_timer take one explicit CLC after
+                     the workload drains, and gc_timer maps to one final
+                     collection)
+  --shards N         worker-pool size for --runtime (default: all cores)
 ";
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -60,10 +74,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut trace_file: Option<String> = None;
     let mut contention = ContentionModel::Unlimited;
     let mut replication: Option<u32> = None;
+    let mut live_runtime = false;
+    let mut shards: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--runtime" => live_runtime = true,
+            "--shards" => {
+                shards = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(0) => return usage_error("--shards needs a pool size >= 1"),
+                    Some(s) => Some(s),
+                    None => return usage_error("--shards needs an integer"),
+                }
+            }
             "--topology" => topology = it.next().cloned(),
             "--application" => application = it.next().cloned(),
             "--timers" => timers = it.next().cloned(),
@@ -125,6 +149,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return usage_error("need --topology, --application and --timers");
     };
 
+    if live_runtime {
+        if !faults.is_empty() {
+            return usage_error("--fault is simulator-only (scheduled in simulated time)");
+        }
+        if trace != TraceLevel::Off || trace_file.is_some() {
+            return usage_error("--trace is simulator-only");
+        }
+        if contention != ContentionModel::Unlimited {
+            return usage_error("--contention is simulator-only");
+        }
+    }
+    if shards.is_some() && !live_runtime {
+        return usage_error("--shards requires --runtime");
+    }
+
     // A trace file without an explicit level would silently be empty;
     // default to the protocol level instead.
     if trace_file.is_some() && trace == TraceLevel::Off {
@@ -149,6 +188,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         if let Some(degree) = replication {
             protocol = protocol.with_replication(ReplicationPolicy::with_degree(degree));
+        }
+        if live_runtime {
+            let report = run_live(&app.cluster_sizes, protocol, &sends, &timer_spec, shards)?;
+            println!("== live substrate (sharded runtime) ==");
+            print_report(&report);
+            return Ok(());
         }
         let mut cfg = SimConfig::new(topo, app.duration)
             .with_sends(sends)
@@ -199,6 +244,95 @@ fn cmd_run(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Drive the parsed workload through the live sharded substrate and
+/// produce the run report via [`runtime::Federation::report`] — the same
+/// shape (and printer) the simulator path uses.
+///
+/// The schedule's sends are injected in timestamp order and every
+/// delivery awaited (forced CLCs happen exactly as in simulation);
+/// clusters whose timers file arms a finite `clc_timer` then take one
+/// explicit unforced CLC, and a configured `gc_timer` maps to one final
+/// garbage collection. Simulated-time timer replay is meaningless on a
+/// wall-clock substrate, so the mapping is workload-equivalent, not
+/// time-equivalent.
+fn run_live(
+    cluster_sizes: &[u32],
+    protocol: ProtocolConfig,
+    sends: &[workload::SendEvent],
+    timer_spec: &workload::TimerSpec,
+    shards: Option<usize>,
+) -> Result<runtime::RunReport, String> {
+    use runtime::{Federation, RtEvent, RuntimeConfig};
+    use std::time::Duration;
+
+    const STEP_TIMEOUT: Duration = Duration::from_secs(120);
+
+    let mut cfg = RuntimeConfig::manual(cluster_sizes.to_vec()).with_protocol(protocol);
+    if let Some(s) = shards {
+        cfg = cfg.with_shards(s);
+    }
+    let fed = Federation::spawn(cfg);
+    eprintln!(
+        "runtime: {} nodes on {} shard worker(s); injecting {} sends",
+        cluster_sizes.iter().map(|&n| n as usize).sum::<usize>(),
+        fed.shards(),
+        sends.len()
+    );
+    for (tag, s) in sends.iter().enumerate() {
+        fed.send_app(
+            s.from,
+            s.to,
+            hc3i_core::AppPayload {
+                bytes: s.bytes,
+                tag: tag as u64,
+            },
+        );
+    }
+    if !sends.is_empty() {
+        let total = sends.len() as u64;
+        let mut delivered = 0u64;
+        fed.wait_for(STEP_TIMEOUT, |e| {
+            if matches!(e, RtEvent::Delivered { .. }) {
+                delivered += 1;
+            }
+            delivered == total
+        })
+        .ok_or_else(|| format!("timed out: {delivered}/{total} deliveries"))?;
+    }
+    // One explicit CLC per periodically-checkpointing cluster.
+    for (c, delay) in timer_spec.clc_delays.iter().enumerate() {
+        if !delay.is_infinite() {
+            fed.checkpoint_now(c);
+            fed.wait_for(
+                STEP_TIMEOUT,
+                |e| matches!(e, RtEvent::Committed { cluster, .. } if *cluster == c),
+            )
+            .ok_or_else(|| format!("timed out waiting for cluster {c}'s CLC"))?;
+        }
+    }
+    // One final collection when the timers file configures a GC.
+    if timer_spec.gc_interval.is_some() {
+        let clusters = cluster_sizes.len();
+        let mut reports = 0usize;
+        fed.gc_now();
+        fed.wait_for(STEP_TIMEOUT, |e| {
+            if matches!(e, RtEvent::GcReport { .. }) {
+                reports += 1;
+            }
+            reports == clusters
+        })
+        .ok_or_else(|| format!("timed out: {reports}/{clusters} GC reports"))?;
+    }
+    let nodes: usize = cluster_sizes.iter().map(|&n| n as usize).sum();
+    let answered = fed.quiesce(4, STEP_TIMEOUT);
+    if answered != nodes {
+        return Err(format!(
+            "quiesce barrier: {answered}/{nodes} nodes answered"
+        ));
+    }
+    Ok(fed.report())
 }
 
 fn usage_error(msg: &str) -> ExitCode {

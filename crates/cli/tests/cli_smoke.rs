@@ -64,3 +64,87 @@ fn unknown_subcommand_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn runtime_mode_drives_live_substrate() {
+    let dir = std::env::temp_dir().join(format!("hc3i-cli-runtime-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A small workload so the live run stays fast in debug builds.
+    let write = |name: &str, content: &str| {
+        std::fs::write(dir.join(name), content).unwrap();
+    };
+    write(
+        "topology.conf",
+        "clusters 2\nnodes 4 4\nintra 0 10us 80Mbps\nintra 1 10us 80Mbps\n\
+         inter 0 1 150us 100Mbps\nmtbf inf\n",
+    );
+    write(
+        "application.conf",
+        "duration 10m\npayload 256\ncompute_mean 0 30s\ncompute_mean 1 30s\n\
+         pattern 0 0.9 0.1\npattern 1 0.1 0.9\n",
+    );
+    write(
+        "timers.conf",
+        "clc_timer 0 5m\nclc_timer 1 inf\ngc_timer 5m\ndetection_delay 100ms\n",
+    );
+    let arg = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let out = Command::new(bin())
+        .args([
+            "run",
+            "--topology",
+            &arg("topology.conf"),
+            "--application",
+            &arg("application.conf"),
+            "--timers",
+            &arg("timers.conf"),
+            "--seed",
+            "11",
+            "--runtime",
+            "--shards",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("live substrate"), "{stdout}");
+    assert!(stdout.contains("HC3I simulation report"), "{stdout}");
+    assert!(stdout.contains("gc #1"), "gc must have run: {stdout}");
+    assert!(!stdout.contains("WARNINGS"), "run must be clean: {stdout}");
+    // Every injected message was delivered (the report prints both).
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("messages: app sent"))
+        .expect("messages line");
+    let mut nums = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty());
+    let sent: u64 = nums.next().unwrap().parse().unwrap();
+    let delivered: u64 = nums.next().unwrap().parse().unwrap();
+    assert_eq!(sent, delivered, "{line}");
+    assert!(sent > 0, "{line}");
+
+    // --runtime rejects simulator-only flags.
+    let out = Command::new(bin())
+        .args([
+            "run",
+            "--topology",
+            &arg("topology.conf"),
+            "--application",
+            &arg("application.conf"),
+            "--timers",
+            &arg("timers.conf"),
+            "--runtime",
+            "--fault",
+            "1:0:0",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulator-only"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,6 +35,9 @@ pub enum DecodeError {
     VarintOverflow,
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// Structurally well-formed input that violates a semantic invariant
+    /// (duplicate delivery keys, non-monotone store entries, …).
+    Invalid(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
             DecodeError::VarintOverflow => write!(f, "varint overflow"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            DecodeError::Invalid(what) => write!(f, "invalid content: {what}"),
         }
     }
 }
@@ -414,7 +418,7 @@ pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
             for _ in 0..n {
                 let sn = SeqNum(get_u64(buf, &mut pos)?);
                 let ddv = get_ddv(buf, &mut pos)?;
-                list.push((sn, ddv));
+                list.push((sn, Arc::new(ddv)));
             }
             Msg::GcDdvList { cluster, list }
         }
@@ -547,7 +551,10 @@ mod tests {
             Msg::GcCollect,
             Msg::GcDdvList {
                 cluster: 1,
-                list: vec![(SeqNum(1), ddv.clone()), (SeqNum(2), Ddv::zeros(3))],
+                list: vec![
+                    (SeqNum(1), Arc::new(ddv.clone())),
+                    (SeqNum(2), Arc::new(Ddv::zeros(3))),
+                ],
             },
             Msg::GcPrune {
                 min_sns: vec![SeqNum(3), SeqNum(1), SeqNum(0)],

@@ -72,8 +72,10 @@ mod tests {
     use super::*;
     use storage::Ddv;
 
-    fn ddv(entries: &[u64]) -> Ddv {
-        Ddv::from_entries(entries.iter().map(|&e| SeqNum(e)).collect())
+    fn ddv(entries: &[u64]) -> std::sync::Arc<Ddv> {
+        std::sync::Arc::new(Ddv::from_entries(
+            entries.iter().map(|&e| SeqNum(e)).collect(),
+        ))
     }
 
     #[test]

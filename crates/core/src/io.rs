@@ -9,6 +9,7 @@
 
 use crate::msg::{AppPayload, Msg};
 use netsim::NodeId;
+use std::sync::Arc;
 use storage::SeqNum;
 
 /// One stimulus for a node engine.
@@ -68,6 +69,22 @@ pub enum Output {
         to: NodeId,
         /// The message.
         msg: Msg,
+    },
+    /// Replicate this node's staged checkpoint fragment to its replica
+    /// holders (all in the node's own cluster): one batched action per
+    /// CLC freeze instead of one `Send` per holder. The hosting engine
+    /// expands the batch into one [`Msg::FragmentReplica`] per holder *in
+    /// holder order*, charging each the same wire bytes as an individual
+    /// send — so network accounting and delivery ordering are identical
+    /// to the unbatched fan-out, while the engine-side output is a single
+    /// entry sharing the (engine-lifetime) holder list by reference.
+    SendFragments {
+        /// Replica-holder ranks within the sender's cluster.
+        holders: Arc<[u32]>,
+        /// The CLC round the fragment belongs to.
+        round: u64,
+        /// The sender's rollback epoch.
+        epoch: u64,
     },
     /// Hand `payload` to the local application.
     DeliverApp {

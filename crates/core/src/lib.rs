@@ -31,6 +31,20 @@
 //! sequences produce identical outputs, which is what makes whole-
 //! federation runs a pure function of their configuration and seed (same
 //! seed ⇒ bit-identical reports).
+//!
+//! **Copy-on-write checkpoint contract:** the checkpoint/GC data plane
+//! shares state structurally instead of duplicating it, without changing
+//! anything observable. Staging a CLC seals the per-node delivery record
+//! ([`DeliveredRecord`]) in O(new deliveries) — the sealed generations
+//! are `Arc`-shared between the live record and every stored checkpoint;
+//! stored `(SN, DDV)` stamps are `Arc`-shared across the store, the GC's
+//! collected lists ([`Msg::GcDdvList`]) and the recovery analyses, while
+//! the wire codec still serializes them by value; and a freeze emits one
+//! batched [`Output::SendFragments`] that hosts expand into the exact
+//! per-holder `FragmentReplica` messages (same order, same wire bytes)
+//! the unbatched fan-out sent. Content equality, persisted images and
+//! report fingerprints — including per-cluster byte counters — are
+//! independent of the sharing; only allocations and wall time change.
 
 #![warn(missing_docs)]
 
@@ -45,7 +59,7 @@ pub mod persist;
 pub mod recovery;
 pub mod testkit;
 
-pub use checkpoint::NodeCheckpoint;
+pub use checkpoint::{DeliveredKey, DeliveredRecord, NodeCheckpoint};
 pub use config::{PiggybackMode, ProtocolConfig, WireSizes};
 pub use io::{Input, Output, OutputBuf};
 pub use msg::{AppPayload, ClcReason, Msg, Piggyback};

@@ -183,8 +183,11 @@ pub enum Msg {
     GcDdvList {
         /// Reporting cluster.
         cluster: usize,
-        /// Its stored checkpoints' stamps, oldest first.
-        list: Vec<(SeqNum, Ddv)>,
+        /// Its stored checkpoints' stamps, oldest first. `Arc`-shared
+        /// with the reporting store in-process (assembling the list clones
+        /// pointers); the wire codec still serializes the stamps by value,
+        /// so [`Msg::wire_bytes`] and the on-wire format are unchanged.
+        list: Vec<(SeqNum, Arc<Ddv>)>,
     },
     /// GC initiator → everyone (via coordinators): safe minimum SNs.
     GcPrune {
@@ -301,7 +304,7 @@ mod tests {
                 > 1 << 20,
             "fragments are the big transfers"
         );
-        let list = vec![(SeqNum(1), Ddv::zeros(3)); 4];
+        let list = vec![(SeqNum(1), Arc::new(Ddv::zeros(3))); 4];
         assert_eq!(
             Msg::GcDdvList { cluster: 0, list }.wire_bytes(&cfg),
             64 + 4 * (8 + 24)

@@ -15,7 +15,7 @@
 //! * the **GC initiator** (cluster 0's coordinator): runs the centralized
 //!   garbage collection of §3.5.
 
-use crate::checkpoint::NodeCheckpoint;
+use crate::checkpoint::{DeliveredRecord, NodeCheckpoint};
 use crate::config::{PiggybackMode, ProtocolConfig};
 use crate::gc;
 use crate::io::{Input, Output, OutputBuf};
@@ -78,10 +78,12 @@ struct CoordState {
     queued: Vec<ClcReason>,
 }
 
-/// GC-initiator-only state: DDV lists collected so far.
+/// GC-initiator-only state: DDV lists collected so far (stamps are
+/// `Arc`-shared with the reporting stores — collecting holds references,
+/// not copies).
 #[derive(Debug)]
 struct GcState {
-    lists: BTreeMap<usize, Vec<(SeqNum, Ddv)>>,
+    lists: BTreeMap<usize, Vec<(SeqNum, Arc<Ddv>)>>,
 }
 
 /// The per-node protocol engine.
@@ -96,16 +98,21 @@ pub struct NodeEngine {
     /// cluster control messages so stale rounds are discarded.
     epoch: u64,
     sn: SeqNum,
-    ddv: Ddv,
-    /// Shared snapshot of `ddv` handed out as the FullDdv piggyback stamp;
-    /// rebuilt lazily after every `ddv` change so repeated sends under one
-    /// CLC clone a pointer, not the vector.
-    ddv_stamp: Option<Arc<Ddv>>,
+    /// The node's current DDV. `Arc`-shared: outside a commit the DDV is
+    /// immutable, so the commit's broadcast stamp *is* the live DDV, the
+    /// FullDdv piggyback stamp, and the stored `ClcMeta` stamp — one
+    /// allocation per cluster per CLC (the coordinator's), zero per node.
+    ddv: Arc<Ddv>,
     store: ClcStore<NodeCheckpoint>,
     log: MessageLog<AppPayload>,
     /// Delivery record for inter-cluster duplicate suppression:
-    /// `(sender, log id) -> SN at delivery`. Checkpointed.
-    delivered: std::collections::HashMap<(NodeId, u64), SeqNum>,
+    /// `(sender, log id) -> SN at delivery`. Checkpointed copy-on-write:
+    /// staging a CLC seals the record's delta instead of cloning the map.
+    delivered: DeliveredRecord,
+    /// This node's checkpoint-fragment replica holders — a pure function
+    /// of rank, cluster size and replication degree, so computed once and
+    /// shared by reference with every per-commit fragment fan-out batch.
+    frag_holders: Arc<[u32]>,
     /// Inter-cluster messages awaiting a forced CLC.
     pending_inter: Vec<PendingInter>,
     frozen: Option<FrozenState>,
@@ -142,6 +149,11 @@ impl NodeEngine {
         let initial_sn = SeqNum(1);
         let mut ddv = Ddv::zeros(n);
         ddv.set(id.cluster.index(), initial_sn);
+        let ddv = Arc::new(ddv);
+        let frag_holders: Arc<[u32]> = cfg
+            .replication
+            .replica_holders(id.rank, cfg.nodes_in(id.cluster.index()))
+            .into();
         let mut store = ClcStore::new();
         store.commit(
             ClcMeta {
@@ -159,10 +171,10 @@ impl NodeEngine {
             epoch: 0,
             sn: initial_sn,
             ddv,
-            ddv_stamp: None,
             store,
             log: MessageLog::new(),
-            delivered: std::collections::HashMap::new(),
+            delivered: DeliveredRecord::new(),
+            frag_holders,
             pending_inter: vec![],
             frozen: None,
             coord: CoordState::default(),
@@ -238,20 +250,8 @@ impl NodeEngine {
     fn current_piggyback(&mut self) -> Piggyback {
         match self.cfg.piggyback {
             PiggybackMode::SnOnly => Piggyback::Sn(self.sn),
-            PiggybackMode::FullDdv => Piggyback::Ddv(self.ddv_stamp()),
-        }
-    }
-
-    /// The shared DDV snapshot for outgoing stamps, rebuilt at most once
-    /// per DDV change.
-    fn ddv_stamp(&mut self) -> Arc<Ddv> {
-        match &self.ddv_stamp {
-            Some(stamp) => stamp.clone(),
-            None => {
-                let stamp = Arc::new(self.ddv.clone());
-                self.ddv_stamp = Some(stamp.clone());
-                stamp
-            }
+            // The live DDV is already the shared immutable stamp.
+            PiggybackMode::FullDdv => Piggyback::Ddv(self.ddv.clone()),
         }
     }
 
@@ -598,7 +598,7 @@ impl NodeEngine {
     ) {
         // Duplicate (an original raced a replay): re-acknowledge with the
         // SN recorded at first delivery.
-        if let Some(&ack_sn) = self.delivered.get(&(from, log_id.0)) {
+        if let Some(ack_sn) = self.delivered.get(&(from, log_id.0)) {
             out.push(Output::Send {
                 to: from,
                 msg: Msg::InterAck {
@@ -671,25 +671,23 @@ impl NodeEngine {
             return;
         }
         let staged = NodeCheckpoint {
-            delivered: self.delivered.clone(),
+            // O(delta) seal: deliveries since the last CLC move into the
+            // shared immutable base; nothing older is copied.
+            delivered: self.delivered.seal(),
             channel_state: vec![],
             app_state: self.app_state.clone(),
         };
-        let holders = self
-            .cfg
-            .replication
-            .replica_holders(self.id.rank, self.cluster_size());
-        for &h in &holders {
-            out.push(Output::Send {
-                to: NodeId::new(self.id.cluster.0, h),
-                msg: Msg::FragmentReplica {
-                    round,
-                    owner: self.id.rank,
-                    epoch: self.epoch,
-                },
+        // One batched fan-out action per freeze: the hosting engine
+        // expands it into per-holder `FragmentReplica` sends (identical
+        // ordering and byte accounting to the old per-holder outputs).
+        if !self.frag_holders.is_empty() {
+            out.push(Output::SendFragments {
+                holders: self.frag_holders.clone(),
+                round,
+                epoch: self.epoch,
             });
         }
-        let awaiting = holders;
+        let awaiting = self.frag_holders.to_vec();
         let ack_immediately = awaiting.is_empty();
         self.frozen = Some(FrozenState {
             round,
@@ -735,16 +733,16 @@ impl NodeEngine {
         self.store.commit(
             ClcMeta {
                 sn,
-                ddv: (*ddv).clone(),
+                ddv: ddv.clone(),
                 committed_at: now,
                 forced,
             },
             staged,
         );
         self.sn = sn;
-        self.ddv = (*ddv).clone();
-        // The commit's shared stamp *is* the new outgoing stamp.
-        self.ddv_stamp = Some(ddv);
+        // The commit's shared stamp *is* the live DDV, the stored stamp
+        // and the new outgoing piggyback — no per-node vector clone.
+        self.ddv = ddv;
         self.dirty = true;
         if self.is_coordinator() {
             out.push(Output::Committed { sn, forced });
@@ -845,7 +843,9 @@ impl NodeEngine {
         }
         let round_state = self.coord.current.take().expect("round exists");
         // Compute the committed stamp: apply every DDV raise, then bump SN.
-        let mut ddv = self.ddv.clone();
+        // The one DDV allocation of the whole CLC round happens here, at
+        // the coordinator; everyone else shares the broadcast `Arc`.
+        let mut ddv = (*self.ddv).clone();
         let mut forced = false;
         for reason in &round_state.reasons {
             match reason {
@@ -949,7 +949,6 @@ impl NodeEngine {
             .expect("rollback target must be stored");
         self.sn = restore_sn;
         self.ddv = entry.meta.ddv.clone();
-        self.ddv_stamp = None;
         self.delivered = entry.payload.delivered.clone();
         let restored_app = entry.payload.app_state.clone();
         self.app_state = restored_app.clone();
@@ -1075,7 +1074,7 @@ impl NodeEngine {
         &mut self,
         now: SimTime,
         cluster: usize,
-        list: Vec<(SeqNum, Ddv)>,
+        list: Vec<(SeqNum, Arc<Ddv>)>,
         out: &mut OutputBuf,
     ) {
         let n = self.cfg.num_clusters();
@@ -1092,9 +1091,11 @@ impl NodeEngine {
     }
 
     fn gc_finish(&mut self, now: SimTime, out: &mut OutputBuf) {
-        let g = self.gc.take().expect("gc in progress");
-        let lists: Vec<Vec<(SeqNum, Ddv)>> = (0..self.cfg.num_clusters())
-            .map(|c| g.lists[&c].clone())
+        let mut g = self.gc.take().expect("gc in progress");
+        // Move the collected lists out — the stamps inside stay shared
+        // with the stores they came from; nothing is deep-copied.
+        let lists: Vec<Vec<(SeqNum, Arc<Ddv>)>> = (0..self.cfg.num_clusters())
+            .map(|c| g.lists.remove(&c).expect("list collected"))
             .collect();
         let min_sns = gc::safe_minimum_sns_k(&lists, self.cfg.gc_fault_tolerance);
         for c in 1..self.cfg.num_clusters() {

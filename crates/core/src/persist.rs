@@ -6,19 +6,40 @@
 //! serializes a node's CLC store — protocol stamps, delivery records,
 //! channel state and application snapshots — with the same hand-rolled
 //! varint format as the wire codec (`codec`), and restores it byte-exactly.
+//!
+//! ## Format versions
+//!
+//! * **v1** wrote every checkpoint's delivery record in full. Old v1
+//!   images still decode.
+//! * **v2** (current) mirrors the in-memory copy-on-write
+//!   [`DeliveredRecord`]: consecutive checkpoints in a store share their
+//!   delivery-record prefix structurally, so each entry is written either
+//!   as a *delta* against the previous entry (tag 1 — the common case,
+//!   O(new deliveries) bytes) or in *full* (tag 0 — the first entry, or
+//!   when the records do not share structure). Decoding rebuilds the same
+//!   generation chain, so `encode(decode(bytes)) == bytes` for both
+//!   representations, and entries within a record are always written in
+//!   sorted key order, so images stay deterministic despite hash maps.
 
-use crate::checkpoint::NodeCheckpoint;
+use crate::checkpoint::{DeliveredKey, DeliveredRecord, NodeCheckpoint};
 use crate::codec::DecodeError;
 use crate::msg::AppPayload;
 use desim::SimTime;
 use netsim::NodeId;
-use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::sync::Arc;
 use storage::{ClcMeta, ClcStore, Ddv, SeqNum};
 
 /// Magic bytes + format version at the head of a store image.
 const MAGIC: &[u8; 4] = b"HC3I";
-const STORE_VERSION: u8 = 1;
+/// Legacy eager-copy store format (still decoded).
+const STORE_VERSION_V1: u8 = 1;
+/// Current copy-on-write store format (what `encode_store` writes).
+const STORE_VERSION: u8 = 2;
+
+/// Delivered-record encoding tags inside a v2 store entry.
+const DELIVERED_FULL: u8 = 0;
+const DELIVERED_DELTA: u8 = 1;
 
 // Varint helpers (shared shape with `codec`, re-implemented locally to keep
 // that module wire-only).
@@ -89,49 +110,57 @@ fn get_ddv(buf: &[u8], pos: &mut usize) -> Result<Ddv, DecodeError> {
     Ok(Ddv::from_entries(entries))
 }
 
-/// Encode one node checkpoint.
-pub fn encode_checkpoint(ckpt: &NodeCheckpoint) -> Vec<u8> {
-    let mut buf = Vec::new();
-    // Delivery record, sorted for deterministic images.
-    let mut delivered: Vec<(&(NodeId, u64), &SeqNum)> = ckpt.delivered.iter().collect();
-    delivered.sort_by_key(|((node, id), _)| (*node, *id));
-    put_u64(&mut buf, delivered.len() as u64);
-    for ((node, log_id), sn) in delivered {
-        put_node(&mut buf, *node);
-        put_u64(&mut buf, *log_id);
-        put_u64(&mut buf, sn.0);
+fn put_delivered_entries(buf: &mut Vec<u8>, entries: &[(DeliveredKey, SeqNum)]) {
+    put_u64(buf, entries.len() as u64);
+    for ((node, log_id), sn) in entries {
+        put_node(buf, *node);
+        put_u64(buf, *log_id);
+        put_u64(buf, sn.0);
     }
-    // Channel state.
-    put_u64(&mut buf, ckpt.channel_state.len() as u64);
-    for (from, payload) in &ckpt.channel_state {
-        put_node(&mut buf, *from);
-        put_u64(&mut buf, payload.bytes);
-        put_u64(&mut buf, payload.tag);
-    }
-    // Application snapshot.
-    match &ckpt.app_state {
-        None => buf.push(0),
-        Some(state) => {
-            buf.push(1);
-            put_bytes(&mut buf, state);
-        }
-    }
-    buf
 }
 
-/// Decode one node checkpoint.
-pub fn decode_checkpoint(buf: &[u8], pos: &mut usize) -> Result<NodeCheckpoint, DecodeError> {
+fn get_delivered_entries(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<Vec<(DeliveredKey, SeqNum)>, DecodeError> {
     let n = get_u64(buf, pos)? as usize;
     if n > 1 << 28 {
         return Err(DecodeError::VarintOverflow);
     }
-    let mut delivered = HashMap::with_capacity(n);
+    let mut entries = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
     for _ in 0..n {
         let node = get_node(buf, pos)?;
         let log_id = get_u64(buf, pos)?;
         let sn = SeqNum(get_u64(buf, pos)?);
-        delivered.insert((node, log_id), sn);
+        if !seen.insert((node, log_id)) {
+            return Err(DecodeError::Invalid("duplicate delivery key"));
+        }
+        entries.push(((node, log_id), sn));
     }
+    Ok(entries)
+}
+
+fn put_channel_and_app(buf: &mut Vec<u8>, ckpt: &NodeCheckpoint) {
+    put_u64(buf, ckpt.channel_state.len() as u64);
+    for (from, payload) in &ckpt.channel_state {
+        put_node(buf, *from);
+        put_u64(buf, payload.bytes);
+        put_u64(buf, payload.tag);
+    }
+    match &ckpt.app_state {
+        None => buf.push(0),
+        Some(state) => {
+            buf.push(1);
+            put_bytes(buf, state);
+        }
+    }
+}
+
+/// Decoded channel-state and application-snapshot tail of a checkpoint.
+type ChannelAndApp = (Vec<(NodeId, AppPayload)>, Option<Vec<u8>>);
+
+fn get_channel_and_app(buf: &[u8], pos: &mut usize) -> Result<ChannelAndApp, DecodeError> {
     let m = get_u64(buf, pos)? as usize;
     if m > 1 << 28 {
         return Err(DecodeError::VarintOverflow);
@@ -150,6 +179,22 @@ pub fn decode_checkpoint(buf: &[u8], pos: &mut usize) -> Result<NodeCheckpoint, 
         1 => Some(get_bytes(buf, pos)?),
         t => return Err(DecodeError::BadTag(t)),
     };
+    Ok((channel_state, app_state))
+}
+
+/// Encode one node checkpoint in full (the v1 body layout: every delivery
+/// written out, sorted for deterministic images).
+pub fn encode_checkpoint(ckpt: &NodeCheckpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_delivered_entries(&mut buf, &ckpt.delivered.sorted_entries());
+    put_channel_and_app(&mut buf, ckpt);
+    buf
+}
+
+/// Decode one full (v1-layout) node checkpoint.
+pub fn decode_checkpoint(buf: &[u8], pos: &mut usize) -> Result<NodeCheckpoint, DecodeError> {
+    let delivered = DeliveredRecord::from_entries(get_delivered_entries(buf, pos)?);
+    let (channel_state, app_state) = get_channel_and_app(buf, pos)?;
     Ok(NodeCheckpoint {
         delivered,
         channel_state,
@@ -157,24 +202,77 @@ pub fn decode_checkpoint(buf: &[u8], pos: &mut usize) -> Result<NodeCheckpoint, 
     })
 }
 
-/// Serialize a whole CLC store (all checkpoints, oldest first).
+/// Encode a checkpoint as a v2 store-entry body: the delivery record is a
+/// structural delta against `prev` when the records share their base.
+fn encode_checkpoint_v2(ckpt: &NodeCheckpoint, prev: Option<&DeliveredRecord>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match prev.and_then(|p| ckpt.delivered.delta_since(p)) {
+        Some(mut delta) => {
+            buf.push(DELIVERED_DELTA);
+            delta.sort_unstable_by_key(|&(k, _)| k);
+            put_delivered_entries(&mut buf, &delta);
+        }
+        None => {
+            buf.push(DELIVERED_FULL);
+            put_delivered_entries(&mut buf, &ckpt.delivered.sorted_entries());
+        }
+    }
+    put_channel_and_app(&mut buf, ckpt);
+    buf
+}
+
+/// Decode a v2 store-entry body, rebuilding the structural sharing with
+/// the previous entry's record.
+fn decode_checkpoint_v2(
+    buf: &[u8],
+    pos: &mut usize,
+    prev: Option<&DeliveredRecord>,
+) -> Result<NodeCheckpoint, DecodeError> {
+    let tag = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+    *pos += 1;
+    let delivered = match tag {
+        DELIVERED_FULL => DeliveredRecord::new().extended_with(get_delivered_entries(buf, pos)?),
+        DELIVERED_DELTA => {
+            let prev = prev.ok_or(DecodeError::BadTag(tag))?;
+            let entries = get_delivered_entries(buf, pos)?;
+            // A delta shadowing keys the previous record already holds is
+            // corrupt: the live engine only seals fresh deliveries.
+            if entries.iter().any(|(k, _)| prev.get(k).is_some()) {
+                return Err(DecodeError::Invalid("delta overlaps previous record"));
+            }
+            prev.extended_with(entries)
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let (channel_state, app_state) = get_channel_and_app(buf, pos)?;
+    Ok(NodeCheckpoint {
+        delivered,
+        channel_state,
+        app_state,
+    })
+}
+
+/// Serialize a whole CLC store (all checkpoints, oldest first) in the
+/// current (v2, copy-on-write) format.
 pub fn encode_store(store: &ClcStore<NodeCheckpoint>) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.push(STORE_VERSION);
     put_u64(&mut buf, store.len() as u64);
+    let mut prev: Option<&DeliveredRecord> = None;
     for entry in store.iter() {
         put_u64(&mut buf, entry.meta.sn.0);
         put_ddv(&mut buf, &entry.meta.ddv);
         put_u64(&mut buf, entry.meta.committed_at.nanos());
         buf.push(entry.meta.forced as u8);
-        let body = encode_checkpoint(&entry.payload);
+        let body = encode_checkpoint_v2(&entry.payload, prev);
         put_bytes(&mut buf, &body);
+        prev = Some(&entry.payload.delivered);
     }
     buf
 }
 
-/// Deserialize a CLC store image.
+/// Deserialize a CLC store image (v1 or v2).
 pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError> {
     let mut pos = 0usize;
     let magic = buf.get(0..4).ok_or(DecodeError::Truncated)?;
@@ -184,7 +282,7 @@ pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError>
     pos += 4;
     let version = *buf.get(pos).ok_or(DecodeError::Truncated)?;
     pos += 1;
-    if version != STORE_VERSION {
+    if version != STORE_VERSION && version != STORE_VERSION_V1 {
         return Err(DecodeError::BadVersion(version));
     }
     let n = get_u64(buf, &mut pos)? as usize;
@@ -192,6 +290,7 @@ pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError>
         return Err(DecodeError::VarintOverflow);
     }
     let mut store = ClcStore::new();
+    let mut prev: Option<DeliveredRecord> = None;
     for _ in 0..n {
         let sn = SeqNum(get_u64(buf, &mut pos)?);
         let ddv = get_ddv(buf, &mut pos)?;
@@ -200,14 +299,29 @@ pub fn decode_store(buf: &[u8]) -> Result<ClcStore<NodeCheckpoint>, DecodeError>
         pos += 1;
         let body = get_bytes(buf, &mut pos)?;
         let mut body_pos = 0usize;
-        let payload = decode_checkpoint(&body, &mut body_pos)?;
+        let payload = if version == STORE_VERSION_V1 {
+            decode_checkpoint(&body, &mut body_pos)?
+        } else {
+            decode_checkpoint_v2(&body, &mut body_pos, prev.as_ref())?
+        };
         if body_pos != body.len() {
             return Err(DecodeError::TrailingBytes(body.len() - body_pos));
         }
+        // Semantic validation before `ClcStore::commit` (which *asserts*
+        // these invariants): corrupt images must error, not panic.
+        if let Some(last) = store.latest() {
+            if sn <= last.meta.sn
+                || ddv.len() != last.meta.ddv.len()
+                || !last.meta.ddv.dominated_by(&ddv)
+            {
+                return Err(DecodeError::Invalid("non-monotone store entries"));
+            }
+        }
+        prev = Some(payload.delivered.clone());
         store.commit(
             ClcMeta {
                 sn,
-                ddv,
+                ddv: Arc::new(ddv),
                 committed_at,
                 forced: forced_byte != 0,
             },
@@ -245,9 +359,10 @@ mod tests {
     use super::*;
 
     fn sample_checkpoint(k: u64) -> NodeCheckpoint {
-        let mut delivered = HashMap::new();
-        delivered.insert((NodeId::new(0, 3), 7 + k), SeqNum(2));
-        delivered.insert((NodeId::new(2, 0), 1), SeqNum(k + 1));
+        let delivered = DeliveredRecord::from_entries([
+            ((NodeId::new(0, 3), 7 + k), SeqNum(2)),
+            ((NodeId::new(2, 0), 1), SeqNum(k + 1)),
+        ]);
         NodeCheckpoint {
             delivered,
             channel_state: vec![(
@@ -270,7 +385,7 @@ mod tests {
             store.commit(
                 ClcMeta {
                     sn: SeqNum(k),
-                    ddv,
+                    ddv: Arc::new(ddv),
                     committed_at: SimTime(k * 1_000_000),
                     forced: k.is_multiple_of(2),
                 },
@@ -280,14 +395,37 @@ mod tests {
         store
     }
 
+    /// A store whose checkpoints share their delivery records the way a
+    /// live engine's do: each entry structurally extends the previous.
+    fn generational_store() -> ClcStore<NodeCheckpoint> {
+        let mut store = ClcStore::new();
+        let mut live = DeliveredRecord::new();
+        for k in 1..=5u64 {
+            live.insert((NodeId::new(1, (k % 3) as u32), 100 + k), SeqNum(k));
+            let mut ddv = Ddv::zeros(2);
+            ddv.set(0, SeqNum(k));
+            store.commit(
+                ClcMeta {
+                    sn: SeqNum(k),
+                    ddv: Arc::new(ddv),
+                    committed_at: SimTime(k),
+                    forced: false,
+                },
+                NodeCheckpoint {
+                    delivered: live.seal(),
+                    channel_state: vec![],
+                    app_state: None,
+                },
+            );
+        }
+        store
+    }
+
     fn stores_equal(a: &ClcStore<NodeCheckpoint>, b: &ClcStore<NodeCheckpoint>) -> bool {
         a.len() == b.len()
-            && a.iter().zip(b.iter()).all(|(x, y)| {
-                x.meta == y.meta
-                    && x.payload.delivered == y.payload.delivered
-                    && x.payload.channel_state == y.payload.channel_state
-                    && x.payload.app_state == y.payload.app_state
-            })
+            && a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| x.meta == y.meta && x.payload == y.payload)
     }
 
     #[test]
@@ -313,11 +451,76 @@ mod tests {
     }
 
     #[test]
+    fn generational_store_round_trips_and_uses_deltas() {
+        let store = generational_store();
+        let bytes = encode_store(&store);
+        let back = decode_store(&bytes).unwrap();
+        assert!(stores_equal(&store, &back));
+        // Image size is O(total deliveries), not O(n * deliveries): the
+        // eager (all-full) encoding of the same content is strictly larger.
+        let mut eager = Vec::new();
+        eager.extend_from_slice(MAGIC);
+        eager.push(STORE_VERSION);
+        put_u64(&mut eager, store.len() as u64);
+        for entry in store.iter() {
+            put_u64(&mut eager, entry.meta.sn.0);
+            put_ddv(&mut eager, &entry.meta.ddv);
+            put_u64(&mut eager, entry.meta.committed_at.nanos());
+            eager.push(entry.meta.forced as u8);
+            let body = encode_checkpoint_v2(&entry.payload, None);
+            put_bytes(&mut eager, &body);
+        }
+        assert!(
+            bytes.len() < eager.len(),
+            "delta image ({}) not smaller than eager image ({})",
+            bytes.len(),
+            eager.len()
+        );
+    }
+
+    #[test]
+    fn encoding_is_byte_stable_across_round_trips() {
+        for store in [sample_store(), generational_store()] {
+            let bytes = encode_store(&store);
+            let reencoded = encode_store(&decode_store(&bytes).unwrap());
+            assert_eq!(bytes, reencoded, "encode∘decode must be byte-stable");
+        }
+    }
+
+    #[test]
     fn encoding_is_deterministic_despite_hashmap() {
-        // The delivery record is a HashMap; the image must still be stable.
+        // The delivery record is hash-map backed; the image must still be
+        // stable.
         let a = encode_store(&sample_store());
         let b = encode_store(&sample_store());
         assert_eq!(a, b);
+    }
+
+    /// Encode a store in the legacy v1 layout (every checkpoint in full,
+    /// no version-2 delivered tag).
+    fn encode_store_v1(store: &ClcStore<NodeCheckpoint>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(STORE_VERSION_V1);
+        put_u64(&mut buf, store.len() as u64);
+        for entry in store.iter() {
+            put_u64(&mut buf, entry.meta.sn.0);
+            put_ddv(&mut buf, &entry.meta.ddv);
+            put_u64(&mut buf, entry.meta.committed_at.nanos());
+            buf.push(entry.meta.forced as u8);
+            let body = encode_checkpoint(&entry.payload);
+            put_bytes(&mut buf, &body);
+        }
+        buf
+    }
+
+    #[test]
+    fn legacy_v1_images_still_decode() {
+        for store in [sample_store(), generational_store()] {
+            let v1 = encode_store_v1(&store);
+            let back = decode_store(&v1).unwrap();
+            assert!(stores_equal(&store, &back), "v1 image decodes to equal");
+        }
     }
 
     #[test]

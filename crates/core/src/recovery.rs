@@ -24,10 +24,16 @@
 //! and is the restore point — the paper's "first (the older) CLC which has
 //! its DDV entry … greater than or equal to the received SN".
 
+use std::sync::Arc;
 use storage::{Ddv, SeqNum};
 
 /// The stored checkpoints of one cluster: `(SN, DDV)` pairs, oldest first.
-pub type ClcList = Vec<(SeqNum, Ddv)>;
+///
+/// The stamps are `Arc`-shared with the stores they came from
+/// ([`storage::ClcStore::ddv_list`]): the recovery-line and GC analyses
+/// borrow the stored DDVs structurally instead of deep-copying one vector
+/// per checkpoint per query.
+pub type ClcList = Vec<(SeqNum, Arc<Ddv>)>;
 
 /// The recovery line: for each cluster, the SN of the CLC it ends up
 /// restoring (its current latest if it does not roll back).
@@ -165,8 +171,10 @@ pub fn is_consistent_cut(lists: &[ClcList], sns: &[SeqNum], rolled_back: &[bool]
 mod tests {
     use super::*;
 
-    fn ddv(entries: &[u64]) -> Ddv {
-        Ddv::from_entries(entries.iter().map(|&e| SeqNum(e)).collect())
+    fn ddv(entries: &[u64]) -> Arc<Ddv> {
+        Arc::new(Ddv::from_entries(
+            entries.iter().map(|&e| SeqNum(e)).collect(),
+        ))
     }
 
     /// Three clusters, mirroring the paper's Figure 5 topology of

@@ -164,6 +164,23 @@ impl InstantFederation {
         for out in outs.drain() {
             match out {
                 Output::Send { to, msg } => self.queue.push_back((source, to, msg)),
+                Output::SendFragments {
+                    holders,
+                    round,
+                    epoch,
+                } => {
+                    for &h in holders.iter() {
+                        self.queue.push_back((
+                            source,
+                            NodeId::new(source.cluster.0, h),
+                            Msg::FragmentReplica {
+                                round,
+                                owner: source.rank,
+                                epoch,
+                            },
+                        ));
+                    }
+                }
                 Output::DeliverApp { from, payload } => self.deliveries.push(Delivery {
                     from,
                     to: source,

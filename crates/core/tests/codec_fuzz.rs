@@ -1,10 +1,15 @@
-//! Property tests for the wire codec: arbitrary messages round-trip, and
-//! arbitrary byte soup never panics the decoder.
+//! Property tests for the wire codec and the versioned checkpoint-store
+//! codec: arbitrary messages and stores round-trip, old (v1) store bytes
+//! still decode, and arbitrary byte soup never panics either decoder.
 
 use hc3i_core::codec::{decode, decode_envelope, encode, encode_envelope};
-use hc3i_core::{AppPayload, ClcReason, Ddv, LogId, Msg, Piggyback, SeqNum};
+use hc3i_core::persist::{decode_store, encode_store};
+use hc3i_core::{
+    AppPayload, ClcReason, Ddv, DeliveredRecord, LogId, Msg, NodeCheckpoint, Piggyback, SeqNum,
+};
 use netsim::NodeId;
 use proptest::prelude::*;
+use storage::{ClcMeta, ClcStore};
 
 fn ddv_strategy() -> impl Strategy<Value = Ddv> {
     prop::collection::vec(any::<u64>(), 1..8)
@@ -115,12 +120,144 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         )
             .prop_map(|(cluster, raw)| Msg::GcDdvList {
                 cluster,
-                list: raw.into_iter().map(|(sn, ddv)| (SeqNum(sn), ddv)).collect(),
+                list: raw
+                    .into_iter()
+                    .map(|(sn, ddv)| (SeqNum(sn), std::sync::Arc::new(ddv)))
+                    .collect(),
             }),
         prop::collection::vec(any::<u64>(), 0..8).prop_map(|v| Msg::GcPrune {
             min_sns: v.into_iter().map(SeqNum).collect(),
         }),
     ]
+}
+
+/// One step of a random store history: deliveries recorded since the
+/// previous CLC, plus whether the application published a snapshot.
+#[derive(Debug, Clone)]
+struct StoreStep {
+    deliveries: Vec<(u16, u32, u64, u64)>,
+    channel: Vec<(u16, u32, u64, u64)>,
+    app_state: Option<Vec<u8>>,
+    forced: bool,
+}
+
+fn store_strategy() -> impl Strategy<Value = Vec<StoreStep>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u16..4, 0u32..4, any::<u64>(), any::<u64>()), 0..5),
+            prop::collection::vec((0u16..4, 0u32..4, 0u64..1 << 20, any::<u64>()), 0..3),
+            // (the vendored proptest has no `prop::option`; model the
+            // optional app snapshot with an explicit presence bool)
+            (any::<bool>(), prop::collection::vec(any::<u8>(), 0..16)),
+            any::<bool>(),
+        )
+            .prop_map(|(deliveries, channel, (has_app, app), forced)| StoreStep {
+                deliveries,
+                channel,
+                app_state: has_app.then_some(app),
+                forced,
+            }),
+        0..10,
+    )
+}
+
+/// Build a store the way a live engine does: one sealed, structurally
+/// shared delivered-record per CLC.
+fn build_store(steps: &[StoreStep]) -> ClcStore<NodeCheckpoint> {
+    let mut store = ClcStore::new();
+    let mut live = DeliveredRecord::new();
+    for (i, step) in steps.iter().enumerate() {
+        for &(c, r, id, sn) in &step.deliveries {
+            let key = (NodeId::new(c, r), id);
+            if live.get(&key).is_none() {
+                live.insert(key, SeqNum(sn));
+            }
+        }
+        let sn = SeqNum(i as u64 + 1);
+        let mut ddv = Ddv::zeros(4);
+        ddv.set(0, sn);
+        store.commit(
+            ClcMeta {
+                sn,
+                ddv: std::sync::Arc::new(ddv),
+                committed_at: desim::SimTime(i as u64),
+                forced: step.forced,
+            },
+            NodeCheckpoint {
+                delivered: live.seal(),
+                channel_state: step
+                    .channel
+                    .iter()
+                    .map(|&(c, r, bytes, tag)| (NodeId::new(c, r), AppPayload { bytes, tag }))
+                    .collect(),
+                app_state: step.app_state.clone(),
+            },
+        );
+    }
+    store
+}
+
+/// Encode a store in the legacy v1 layout (version byte 1, every
+/// checkpoint's delivery record written in full, no delivered tag).
+fn encode_store_v1(store: &ClcStore<NodeCheckpoint>) -> Vec<u8> {
+    fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"HC3I");
+    buf.push(1);
+    put_u64(&mut buf, store.len() as u64);
+    for entry in store.iter() {
+        put_u64(&mut buf, entry.meta.sn.0);
+        put_u64(&mut buf, entry.meta.ddv.len() as u64);
+        for e in entry.meta.ddv.iter() {
+            put_u64(&mut buf, e.0);
+        }
+        put_u64(&mut buf, entry.meta.committed_at.nanos());
+        buf.push(entry.meta.forced as u8);
+        let mut body = Vec::new();
+        let delivered = entry.payload.delivered.sorted_entries();
+        put_u64(&mut body, delivered.len() as u64);
+        for ((node, log_id), sn) in delivered {
+            put_u64(&mut body, node.cluster.0 as u64);
+            put_u64(&mut body, node.rank as u64);
+            put_u64(&mut body, log_id);
+            put_u64(&mut body, sn.0);
+        }
+        put_u64(&mut body, entry.payload.channel_state.len() as u64);
+        for (from, payload) in &entry.payload.channel_state {
+            put_u64(&mut body, from.cluster.0 as u64);
+            put_u64(&mut body, from.rank as u64);
+            put_u64(&mut body, payload.bytes);
+            put_u64(&mut body, payload.tag);
+        }
+        match &entry.payload.app_state {
+            None => body.push(0),
+            Some(state) => {
+                body.push(1);
+                put_u64(&mut body, state.len() as u64);
+                body.extend_from_slice(state);
+            }
+        }
+        put_u64(&mut buf, body.len() as u64);
+        buf.extend_from_slice(&body);
+    }
+    buf
+}
+
+fn stores_equal(a: &ClcStore<NodeCheckpoint>, b: &ClcStore<NodeCheckpoint>) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.meta == y.meta && x.payload == y.payload)
 }
 
 proptest! {
@@ -171,5 +308,41 @@ proptest! {
     #[test]
     fn encoding_is_deterministic(msg in msg_strategy()) {
         prop_assert_eq!(encode(&msg), encode(&msg));
+    }
+
+    #[test]
+    fn versioned_store_encoding_round_trips_byte_stably(steps in store_strategy()) {
+        let store = build_store(&steps);
+        let bytes = encode_store(&store);
+        let back = decode_store(&bytes).unwrap();
+        prop_assert!(stores_equal(&store, &back), "content round-trip");
+        // Byte stability: re-encoding the decoded store reproduces the
+        // image exactly (the decoder rebuilt the structural deltas).
+        prop_assert_eq!(encode_store(&back), bytes);
+    }
+
+    #[test]
+    fn legacy_v1_store_bytes_still_decode(steps in store_strategy()) {
+        let store = build_store(&steps);
+        let v1 = encode_store_v1(&store);
+        let back = decode_store(&v1).unwrap();
+        prop_assert!(stores_equal(&store, &back), "v1 image decodes to equal content");
+    }
+
+    #[test]
+    fn store_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_store(&bytes);
+    }
+
+    #[test]
+    fn store_decoder_never_panics_on_mutated_valid_images(
+        steps in store_strategy(),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut bytes = encode_store(&build_store(&steps));
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] = new_byte;
+        let _ = decode_store(&bytes); // Err or a different store; no panic
     }
 }

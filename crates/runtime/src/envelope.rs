@@ -78,6 +78,8 @@ pub enum RtEvent {
         node: NodeId,
         /// Restored sequence number.
         restore_sn: SeqNum,
+        /// How many newer CLCs the restore discarded.
+        discarded_clcs: usize,
     },
     /// Garbage collection ran on a cluster.
     GcReport {

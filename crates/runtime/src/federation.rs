@@ -31,10 +31,14 @@
 use crate::app::Application;
 use crate::detector::{ClusterProbe, HeartbeatConfig};
 use crate::envelope::{Envelope, RtEvent};
+use crate::report::ReportCollector;
 use crate::shard::{NodeCell, ShardWorker};
 use crossbeam::channel::{self, Receiver, Sender};
+use desim::SimTime;
 use hc3i_core::{AppPayload, NodeEngine, ProtocolConfig};
 use netsim::NodeId;
+use simdriver::RunReport;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -187,6 +191,14 @@ pub struct Federation {
     events_rx: Receiver<RtEvent>,
     cfg: RuntimeConfig,
     num_shards: usize,
+    /// Spawn instant: the zero point of the run's wall-clock timeline.
+    epoch: Instant,
+    /// Folds every event the controller observes into the run report
+    /// ([`Federation::report`]). A `RefCell`, not a mutex: the event
+    /// receiver is single-consumer (`!Sync`), so the `Federation` is
+    /// already confined to one observing thread and the per-event fold
+    /// must not pay an atomic lock on the hot drain path.
+    collector: RefCell<ReportCollector>,
 }
 
 impl Federation {
@@ -292,9 +304,16 @@ impl Federation {
             routes,
             handles,
             events_rx,
+            collector: RefCell::new(ReportCollector::new(n_clusters)),
             cfg,
             num_shards,
+            epoch,
         }
+    }
+
+    /// Fold one observed event into the report collector.
+    fn record(&self, ev: &RtEvent) {
+        self.collector.borrow_mut().observe(ev, self.epoch);
     }
 
     /// The runtime configuration.
@@ -313,6 +332,7 @@ impl Federation {
 
     /// Application send.
     pub fn send_app(&self, from: NodeId, to: NodeId, payload: AppPayload) {
+        self.collector.borrow_mut().note_send();
         self.route(from, Envelope::AppSend { to, payload });
     }
 
@@ -338,12 +358,19 @@ impl Federation {
 
     /// Next event, waiting up to `timeout`.
     pub fn next_event(&self, timeout: Duration) -> Option<RtEvent> {
-        self.events_rx.recv_timeout(timeout).ok()
+        let ev = self.events_rx.recv_timeout(timeout).ok()?;
+        self.record(&ev);
+        Some(ev)
     }
 
     /// Wait until `pred` matches an event, collecting everything seen.
     /// Returns all events observed (the matching one last), or `None` on
     /// timeout.
+    ///
+    /// Drains in batches: after each blocking receive, every event already
+    /// queued is consumed without re-blocking, so a controller chasing a
+    /// busy federation parks (and is unparked by producers — a futex
+    /// syscall each) once per *burst* instead of once per event.
     pub fn wait_for(
         &self,
         timeout: Duration,
@@ -358,10 +385,20 @@ impl Federation {
             }
             match self.events_rx.recv_timeout(remaining) {
                 Ok(ev) => {
+                    self.record(&ev);
                     let hit = pred(&ev);
                     seen.push(ev);
                     if hit {
                         return Some(seen);
+                    }
+                    // Batch-drain whatever arrived in the meantime.
+                    for ev in self.events_rx.try_iter() {
+                        self.record(&ev);
+                        let hit = pred(&ev);
+                        seen.push(ev);
+                        if hit {
+                            return Some(seen);
+                        }
                     }
                 }
                 Err(_) => return None,
@@ -371,7 +408,11 @@ impl Federation {
 
     /// Drain any already-available events without blocking.
     pub fn drain_events(&self) -> Vec<RtEvent> {
-        self.events_rx.try_iter().collect()
+        let events: Vec<RtEvent> = self.events_rx.try_iter().collect();
+        for ev in &events {
+            self.record(ev);
+        }
+        events
     }
 
     /// Flush in-flight traffic with a ping barrier.
@@ -425,6 +466,44 @@ impl Federation {
         answered
     }
 
+    /// Stop the federation and produce the run's [`RunReport`] — the same
+    /// shape the discrete-event simulator emits, so controllers (the CLI's
+    /// `--runtime` mode, the equivalence tests) can print or fingerprint
+    /// live-substrate runs with the simulator's output format.
+    ///
+    /// Folds every event observed through [`Federation::next_event`] /
+    /// [`Federation::wait_for`] / [`Federation::drain_events`], drains
+    /// whatever is still queued (including events produced while the pool
+    /// shuts down), and finalizes storage/log occupancy from the joined
+    /// engines. Call [`Federation::quiesce`] first when in-flight protocol
+    /// chains must settle into the report.
+    ///
+    /// See [`crate::report`] for which fields are live-substrate faithful
+    /// and which (wire-byte counters, work-lost durations) stay zero.
+    pub fn report(mut self) -> RunReport {
+        for ev in self.events_rx.try_iter() {
+            self.collector.borrow_mut().observe(&ev, self.epoch);
+        }
+        let engines: HashMap<NodeId, NodeEngine> = self
+            .stop_and_join()
+            .into_iter()
+            .map(|(id, (engine, _))| (id, engine))
+            .collect();
+        // Workers have exited: the senders are gone, so this drain is
+        // complete, not racy.
+        let remaining: Vec<RtEvent> = self.events_rx.try_iter().collect();
+        let ended_at = SimTime(self.epoch.elapsed().as_nanos() as u64);
+        let mut collector = self.collector.borrow_mut();
+        for ev in &remaining {
+            collector.observe(ev, self.epoch);
+        }
+        let cluster_sizes: Vec<u32> = (0..self.cfg.protocol.num_clusters())
+            .map(|c| self.cfg.protocol.nodes_in(c))
+            .collect();
+        let collector = std::mem::replace(&mut *collector, ReportCollector::new(0));
+        collector.finalize(&engines, &cluster_sizes, ended_at)
+    }
+
     /// Stop every node and return the final engines, keyed by node.
     pub fn shutdown(self) -> HashMap<NodeId, NodeEngine> {
         self.shutdown_with_apps()
@@ -435,6 +514,14 @@ impl Federation {
 
     /// Stop every node and return engines plus application instances.
     pub fn shutdown_with_apps(mut self) -> HashMap<NodeId, NodeFinalState> {
+        self.stop_and_join()
+    }
+
+    /// The one stop-the-pool path: request shutdown, join every worker,
+    /// collect the final node states. Shared by [`Federation::shutdown`],
+    /// [`Federation::shutdown_with_apps`] and [`Federation::report`], so
+    /// a change to how the pool winds down cannot miss one of them.
+    fn stop_and_join(&mut self) -> HashMap<NodeId, NodeFinalState> {
         self.request_shutdown();
         std::mem::take(&mut self.handles)
             .into_iter()

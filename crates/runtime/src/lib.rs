@@ -29,9 +29,11 @@ pub mod app;
 pub mod detector;
 pub mod envelope;
 pub mod federation;
+pub mod report;
 mod shard;
 
 pub use app::{Application, CounterApp};
 pub use detector::HeartbeatConfig;
 pub use envelope::{Envelope, RtEvent};
 pub use federation::{AppFactory, Federation, RuntimeConfig};
+pub use simdriver::RunReport;

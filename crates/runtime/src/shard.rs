@@ -254,6 +254,23 @@ impl ShardWorker {
                     // A vanished route only happens at shutdown; drop then.
                     let _ = self.routes.send(to, Envelope::Net { from: id, msg });
                 }
+                Output::SendFragments {
+                    holders,
+                    round,
+                    epoch,
+                } => {
+                    // Expand the batched fragment fan-out into per-holder
+                    // envelopes (holder order = the old per-send order).
+                    for &h in holders.iter() {
+                        let to = NodeId::new(id.cluster.0, h);
+                        let msg = hc3i_core::Msg::FragmentReplica {
+                            round,
+                            owner: id.rank,
+                            epoch,
+                        };
+                        let _ = self.routes.send(to, Envelope::Net { from: id, msg });
+                    }
+                }
                 Output::DeliverApp { from, payload } => {
                     if self.nodes[slot].app.is_some() {
                         let snap = {
@@ -289,10 +306,14 @@ impl ShardWorker {
                         self.arm_clc(deadline);
                     }
                 }
-                Output::RolledBack { restore_sn, .. } => {
+                Output::RolledBack {
+                    restore_sn,
+                    discarded_clcs,
+                } => {
                     let _ = self.events.send(RtEvent::RolledBack {
                         node: id,
                         restore_sn,
+                        discarded_clcs,
                     });
                 }
                 Output::GcReport { before, after } => {

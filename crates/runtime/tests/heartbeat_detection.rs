@@ -31,7 +31,7 @@ fn fault_detected_and_recovered_autonomously() {
     // Fail a node — and do NOT call detect(): the heartbeat must find it.
     fed.fail(n(0, 2));
     fed.wait_for(Duration::from_secs(10), |e| {
-        matches!(e, RtEvent::RolledBack { node, restore_sn }
+        matches!(e, RtEvent::RolledBack { node, restore_sn, .. }
             if *node == n(0, 2) && *restore_sn == SeqNum(2))
     })
     .expect("autonomous detection and recovery");

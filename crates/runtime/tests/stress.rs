@@ -136,3 +136,87 @@ fn hundreds_of_nodes_with_heartbeat_recover_from_faults() {
 fn two_thousand_nodes_on_a_fixed_pool() {
     waves_and_autonomous_recovery(8, 256, 1024, None);
 }
+
+/// GC-heavy north-star scale: 128 clusters × 16 nodes, stores grown over
+/// several wave+checkpoint rounds, then repeated federation-wide garbage
+/// collections. This drives the zero-clone GC data plane — `Arc`-shared
+/// `(SN, DDV)` stamp lists collected from 128 coordinators, the k-failure
+/// minimum-SN analysis over all of them, and cluster-wide pruning — at a
+/// scale where the old deep-clone-per-stamp collection was measurable.
+/// Verified through [`Federation::report`], exercising the runtime report
+/// surface at scale too.
+#[test]
+#[ignore = "stress scale: 2048 nodes, GC-heavy; run explicitly"]
+fn gc_heavy_two_thousand_nodes() {
+    const CLUSTERS: usize = 128;
+    const PER: u32 = 16;
+    const WAVE: u64 = 2048;
+    const ROUNDS: u64 = 3;
+    const GC_ROUNDS: usize = 2;
+    let t0 = Instant::now();
+    let fed = Federation::spawn(RuntimeConfig::manual(vec![PER; CLUSTERS]));
+
+    // Grow every cluster's CLC store: cross-cluster waves force CLCs via
+    // the CIC rule, and an explicit checkpoint per cluster per round adds
+    // unforced ones on top.
+    for round in 0..ROUNDS {
+        traffic_wave(&fed, CLUSTERS, PER, round * WAVE, WAVE);
+        for c in 0..CLUSTERS {
+            fed.checkpoint_now(c);
+        }
+        let mut committed = std::collections::HashSet::new();
+        fed.wait_for(Duration::from_secs(120), |e| {
+            if let RtEvent::Committed { cluster, .. } = e {
+                committed.insert(*cluster);
+            }
+            committed.len() == CLUSTERS
+        })
+        .expect("every cluster commits its explicit CLC");
+    }
+
+    // Repeated federation-wide collections: every round must report from
+    // all 128 clusters.
+    for _ in 0..GC_ROUNDS {
+        fed.quiesce(4, Duration::from_secs(60));
+        fed.gc_now();
+        let mut reported = std::collections::HashSet::new();
+        fed.wait_for(Duration::from_secs(120), |e| {
+            if let RtEvent::GcReport { cluster, .. } = e {
+                reported.insert(*cluster);
+            }
+            reported.len() == CLUSTERS
+        })
+        .expect("every cluster reports a GC round");
+    }
+
+    let answered = fed.quiesce(4, Duration::from_secs(60));
+    assert_eq!(answered, CLUSTERS * PER as usize);
+    let pool = fed.shards();
+    let report = fed.report();
+    assert_eq!(report.app_delivered, ROUNDS * WAVE);
+    for (c, stats) in report.clusters.iter().enumerate() {
+        assert_eq!(
+            stats.gc_before_after.len(),
+            GC_ROUNDS,
+            "cluster {c} missed a GC round"
+        );
+        assert!(
+            stats.unforced_clcs >= ROUNDS,
+            "cluster {c} missed explicit checkpoints"
+        );
+        let (_, after) = *stats.gc_before_after.last().unwrap();
+        assert!(
+            after <= stats.peak_stored_clcs,
+            "cluster {c}: GC never pruned below the peak"
+        );
+        assert!(stats.stored_clcs >= 1, "cluster {c} lost its latest CLC");
+    }
+    eprintln!(
+        "gc stress: {} nodes on {} shard(s), {} messages, {} GC rounds in {:.1?}",
+        CLUSTERS * PER as usize,
+        pool,
+        ROUNDS * WAVE,
+        GC_ROUNDS,
+        t0.elapsed()
+    );
+}

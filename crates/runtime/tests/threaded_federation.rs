@@ -159,7 +159,7 @@ fn sender_fault_cascades_receiver_rollback() {
     // *recorded* the dependency committed before the ghost was delivered,
     // so its state is clean.
     fed.wait_for(TICK, |e| {
-        matches!(e, RtEvent::RolledBack { node, restore_sn }
+        matches!(e, RtEvent::RolledBack { node, restore_sn, .. }
             if node.cluster.0 == 1 && *restore_sn == SeqNum(2))
     })
     .expect("receiver cascade");

@@ -25,19 +25,32 @@ pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
     let horizon = cfg.horizon();
     let mut sim = Simulation::new(FederationWorld::new(cfg));
 
-    // Schedule the workload.
+    // Install the workload as a lazily-merged sorted feed: scheduling it
+    // first used to give every send the smallest sequence numbers, so
+    // sends fired before same-instant protocol events — the feed's
+    // tie-breaking rule reproduces exactly that order while keeping the
+    // bulk workload out of the pending-event heap (whose per-op cost
+    // scales with its depth).
     let sends = sim.world().cfg.sends.clone();
-    for (tag, s) in sends.into_iter().enumerate() {
-        sim.schedule_at(
-            s.at,
-            Ev::AppSend {
-                from: s.from,
-                to: s.to,
-                bytes: s.bytes,
-                tag: tag as u64,
-            },
-        );
-    }
+    let mut workload: Vec<(SimTime, Ev)> = sends
+        .into_iter()
+        .enumerate()
+        .map(|(tag, s)| {
+            (
+                s.at,
+                Ev::AppSend {
+                    from: s.from,
+                    to: s.to,
+                    bytes: s.bytes,
+                    tag: tag as u64,
+                },
+            )
+        })
+        .collect();
+    // Stable: equal-time sends keep their schedule order, matching the
+    // old scheduling-sequence tie-break.
+    workload.sort_by_key(|&(at, _)| at);
+    sim.feed_sorted(workload);
 
     // Scripted faults, checkpoints and collections.
     let faults = sim.world().cfg.faults.clone();

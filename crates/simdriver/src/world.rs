@@ -155,26 +155,50 @@ impl FederationWorld {
         self.out_buf = buf;
     }
 
+    /// Charge one outgoing message to the network model and schedule its
+    /// delivery. The single path every engine send goes through — plain
+    /// sends and expanded fragment fan-out batches alike — so accounting
+    /// and tracing cannot diverge between them.
+    fn ship(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, to: NodeId, msg: Msg) {
+        let bytes = msg.wire_bytes(&self.cfg.protocol);
+        let class = msg.class();
+        let arrival = self.net.send(ctx.now(), source, to, bytes, class);
+        if self.tracer.enabled(TraceLevel::Full) {
+            self.tracer.full(ctx.now(), "net", || {
+                format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
+            });
+        }
+        ctx.schedule_at(
+            arrival,
+            Ev::Deliver {
+                from: source,
+                to,
+                msg,
+            },
+        );
+    }
+
     fn absorb(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, outs: &mut OutputBuf) {
         for out in outs.drain() {
             match out {
-                Output::Send { to, msg } => {
-                    let bytes = msg.wire_bytes(&self.cfg.protocol);
-                    let class = msg.class();
-                    let arrival = self.net.send(ctx.now(), source, to, bytes, class);
-                    if self.tracer.enabled(TraceLevel::Full) {
-                        self.tracer.full(ctx.now(), "net", || {
-                            format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
-                        });
+                Output::Send { to, msg } => self.ship(ctx, source, to, msg),
+                Output::SendFragments {
+                    holders,
+                    round,
+                    epoch,
+                } => {
+                    // Expand the batched fan-out exactly like per-holder
+                    // sends: same per-message wire bytes, same network
+                    // accounting, same delivery scheduling, holder order.
+                    for &h in holders.iter() {
+                        let to = NodeId::new(source.cluster.0, h);
+                        let msg = Msg::FragmentReplica {
+                            round,
+                            owner: source.rank,
+                            epoch,
+                        };
+                        self.ship(ctx, source, to, msg);
                     }
-                    ctx.schedule_at(
-                        arrival,
-                        Ev::Deliver {
-                            from: source,
-                            to,
-                            msg,
-                        },
-                    );
                 }
                 Output::DeliverApp { from, payload } => {
                     self.stats.app_delivered += 1;

@@ -13,6 +13,7 @@
 
 use crate::stamp::{Ddv, SeqNum};
 use desim::SimTime;
+use std::sync::Arc;
 
 /// Metadata of one committed CLC.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +21,12 @@ pub struct ClcMeta {
     /// The cluster SN value this CLC committed as (1 for the initial CLC).
     pub sn: SeqNum,
     /// The DDV stamped on this CLC at commit time.
-    pub ddv: Ddv,
+    ///
+    /// `Arc`-shared: every node of a cluster stores the *same* immutable
+    /// stamp the coordinator broadcast in the `ClcCommit`, and the
+    /// garbage collector's DDV-list collection borrows these stamps
+    /// instead of deep-cloning one vector per stored CLC per round.
+    pub ddv: Arc<Ddv>,
     /// Commit time.
     pub committed_at: SimTime,
     /// Whether this CLC was forced by an incoming inter-cluster message.
@@ -100,8 +106,9 @@ impl<T> ClcStore<T> {
     }
 
     /// All stored `(SN, DDV)` pairs, oldest first (what the GC initiator
-    /// collects from each cluster).
-    pub fn ddv_list(&self) -> Vec<(SeqNum, Ddv)> {
+    /// collects from each cluster). The stamps are `Arc`-shared with the
+    /// store — assembling the list clones pointers, not vectors.
+    pub fn ddv_list(&self) -> Vec<(SeqNum, Arc<Ddv>)> {
         self.entries
             .iter()
             .map(|e| (e.meta.sn, e.meta.ddv.clone()))
@@ -169,7 +176,7 @@ mod tests {
     fn meta(sn: u64, ddv: Vec<u64>, forced: bool) -> ClcMeta {
         ClcMeta {
             sn: SeqNum(sn),
-            ddv: Ddv::from_entries(ddv.into_iter().map(SeqNum).collect()),
+            ddv: Arc::new(Ddv::from_entries(ddv.into_iter().map(SeqNum).collect())),
             committed_at: SimTime::ZERO,
             forced,
         }

@@ -12,6 +12,18 @@
 //! * [`ReplicationPolicy`] — in-cluster neighbour replication implementing
 //!   the paper's stable-storage assumption, generalized to a configurable
 //!   degree (paper §7 future work).
+//!
+//! ## Copy-on-write stamps
+//!
+//! [`ClcMeta`] holds its DDV as an `Arc<Ddv>`: every node of a cluster
+//! stores the *same* immutable stamp the coordinator broadcast at commit,
+//! and [`ClcStore::ddv_list`] — what the centralized garbage collector
+//! collects from each cluster every round — clones pointers, not vectors.
+//! The recovery-line and GC safe-minimum analyses in `hc3i-core` operate
+//! on these shared stamps directly, so a federation-wide GC round borrows
+//! the stored `(SN, DDV)` pairs structurally instead of deep-copying one
+//! vector per stored checkpoint. Sharing is invisible to consumers:
+//! stamps are immutable, compare by value, and serialize by value.
 
 #![warn(missing_docs)]
 

@@ -11,17 +11,19 @@
 //! * through the threaded [`runtime::Federation`] at shard counts
 //!   {1, 2, 8}, with a ping barrier quiescing each step.
 //!
-//! The comparable artifact is a [`RunReport`] fingerprint restricted to
-//! the deterministic protocol outcomes — commit counts by kind, rollback
-//! restore points, end-of-run storage and log occupancy, deliveries and
-//! soundness counters. Wall-clock timings and wire-byte totals are
+//! Both substrates produce a `RunReport` — the simulator natively, the
+//! runtime through [`runtime::Federation::report`] — and the comparable
+//! artifact is a fingerprint over the deterministic protocol outcomes:
+//! commit counts by kind, rollback restore points and discard counts,
+//! end-of-run storage and log occupancy, deliveries and soundness
+//! counters. Wall-clock timings and wire-byte totals are
 //! substrate-specific and excluded. All four runs must produce the
 //! identical fingerprint.
 
 use hc3i::prelude::*;
 use netsim::NodeId;
 use proptest::prelude::*;
-use runtime::{Federation, RtEvent, RuntimeConfig};
+use runtime::{Federation, RtEvent, RunReport, RuntimeConfig};
 use std::time::Duration;
 
 const CLUSTERS: usize = 2;
@@ -61,19 +63,56 @@ fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
     )
 }
 
-/// The deterministic protocol outcomes of a run, comparable across
-/// substrates and shard counts.
+/// The deterministic protocol outcomes of a run, extracted identically
+/// from either substrate's `RunReport`.
+/// Per cluster: (unforced commits, forced commits, rollback
+/// `(restore SN, discarded)` pairs in order, GC before/after pairs,
+/// stored CLCs at end, logged messages at end).
+type ClusterFingerprint = (
+    u64,
+    u64,
+    Vec<(u64, usize)>,
+    Vec<(usize, usize)>,
+    usize,
+    usize,
+);
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Fingerprint {
-    /// Per cluster: (unforced commits, forced commits, rollback restore
-    /// SNs in order, stored CLCs at end, logged messages at end).
-    clusters: Vec<(u64, u64, Vec<u64>, usize, usize)>,
+    clusters: Vec<ClusterFingerprint>,
     delivered: u64,
     late_crossings: u64,
     unrecoverable: u64,
 }
 
-fn sim_fingerprint(steps: &[Step]) -> Fingerprint {
+impl Fingerprint {
+    fn of(r: &RunReport) -> Self {
+        Fingerprint {
+            clusters: r
+                .clusters
+                .iter()
+                .map(|c| {
+                    (
+                        c.unforced_clcs,
+                        c.forced_clcs,
+                        c.rollbacks
+                            .iter()
+                            .map(|&(_, sn, discarded)| (sn.value(), discarded))
+                            .collect(),
+                        c.gc_before_after.clone(),
+                        c.stored_clcs,
+                        c.logged_messages as usize,
+                    )
+                })
+                .collect(),
+            delivered: r.app_delivered,
+            late_crossings: r.late_crossings,
+            unrecoverable: r.unrecoverable_faults,
+        }
+    }
+}
+
+fn sim_report(steps: &[Step]) -> RunReport {
     let topo = Topology::new(
         vec![
             netsim::ClusterSpec {
@@ -102,34 +141,15 @@ fn sim_fingerprint(steps: &[Step]) -> Fingerprint {
         }
     }
     cfg = cfg.with_sends(sends);
-    let r = simdriver::run(cfg);
-    Fingerprint {
-        clusters: r
-            .clusters
-            .iter()
-            .map(|c| {
-                (
-                    c.unforced_clcs,
-                    c.forced_clcs,
-                    c.rollbacks.iter().map(|&(_, sn, _)| sn.value()).collect(),
-                    c.stored_clcs,
-                    c.logged_messages as usize,
-                )
-            })
-            .collect(),
-        delivered: r.app_delivered,
-        late_crossings: r.late_crossings,
-        unrecoverable: r.unrecoverable_faults,
-    }
+    simdriver::run(cfg)
 }
 
-fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
+fn threaded_report(steps: &[Step], shards: usize) -> RunReport {
     let fed =
         Federation::spawn(RuntimeConfig::manual(vec![PER_CLUSTER; CLUSTERS]).with_shards(shards));
-    let mut events: Vec<RtEvent> = Vec::new();
     let wait = |fed: &Federation, what: &str, mut pred: Box<dyn FnMut(&RtEvent) -> bool>| {
         fed.wait_for(TICK, |e| pred(e))
-            .unwrap_or_else(|| panic!("timed out waiting for {what} @ {shards} shards"))
+            .unwrap_or_else(|| panic!("timed out waiting for {what} @ {shards} shards"));
     };
     for (k, s) in steps.iter().enumerate() {
         // Mirror the simulator's one-second step spacing with a ping
@@ -143,23 +163,23 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
                     node(to),
                     hc3i::core::AppPayload { bytes: 512, tag },
                 );
-                events.extend(wait(
+                wait(
                     &fed,
                     "delivery",
-                    Box::new(move |e| {
-                        matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag)
-                    }),
-                ));
+                    Box::new(
+                        move |e| matches!(e, RtEvent::Delivered { payload, .. } if payload.tag == tag),
+                    ),
+                );
             }
             Step::Checkpoint { cluster } => {
                 fed.checkpoint_now(cluster);
-                events.extend(wait(
+                wait(
                     &fed,
                     "commit",
-                    Box::new(move |e| {
-                        matches!(e, RtEvent::Committed { cluster: c, .. } if *c == cluster)
-                    }),
-                ));
+                    Box::new(
+                        move |e| matches!(e, RtEvent::Committed { cluster: c, .. } if *c == cluster),
+                    ),
+                );
             }
             Step::Fault { victim } => {
                 let v = node(victim);
@@ -168,16 +188,16 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
                 // the simulator's recovery coordinator.
                 let detector = NodeId::new(v.cluster.0, u32::from(v.rank == 0));
                 fed.detect(detector, v.rank);
-                events.extend(wait(
+                wait(
                     &fed,
                     "rollback",
                     Box::new(move |e| matches!(e, RtEvent::RolledBack { node: n, .. } if *n == v)),
-                ));
+                );
             }
             Step::Gc => {
                 fed.gc_now();
                 let mut reports = 0;
-                events.extend(wait(
+                wait(
                     &fed,
                     "gc reports",
                     Box::new(move |e| {
@@ -186,7 +206,7 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
                         }
                         reports == CLUSTERS
                     }),
-                ));
+                );
             }
         }
     }
@@ -195,49 +215,7 @@ fn threaded_fingerprint(steps: &[Step], shards: usize) -> Fingerprint {
         NODES,
         "final barrier @ {shards} shards"
     );
-    events.extend(fed.drain_events());
-    let engines = fed.shutdown();
-
-    let mut clusters = vec![(0u64, 0u64, Vec::new(), 0usize, 0usize); CLUSTERS];
-    for e in &events {
-        match e {
-            RtEvent::Committed {
-                cluster, forced, ..
-            } => {
-                if *forced {
-                    clusters[*cluster].1 += 1;
-                } else {
-                    clusters[*cluster].0 += 1;
-                }
-            }
-            RtEvent::RolledBack { node, restore_sn } if node.rank == 0 => {
-                clusters[node.cluster.index()].2.push(restore_sn.value());
-            }
-            _ => {}
-        }
-    }
-    for (c, entry) in clusters.iter_mut().enumerate() {
-        let coord = NodeId::new(c as u16, 0);
-        entry.3 = engines[&coord].store().len();
-        entry.4 = (0..PER_CLUSTER)
-            .map(|r| engines[&NodeId::new(c as u16, r)].log().len())
-            .sum();
-    }
-    Fingerprint {
-        clusters,
-        delivered: events
-            .iter()
-            .filter(|e| matches!(e, RtEvent::Delivered { .. }))
-            .count() as u64,
-        late_crossings: events
-            .iter()
-            .filter(|e| matches!(e, RtEvent::LateCrossing { .. }))
-            .count() as u64,
-        unrecoverable: events
-            .iter()
-            .filter(|e| matches!(e, RtEvent::Unrecoverable { .. }))
-            .count() as u64,
-    }
+    fed.report()
 }
 
 proptest! {
@@ -245,13 +223,22 @@ proptest! {
 
     #[test]
     fn random_workloads_fingerprint_identically(steps in steps_strategy()) {
-        let sim = sim_fingerprint(&steps);
+        let sim = sim_report(&steps);
         prop_assert_eq!(&sim.late_crossings, &0u64, "sim must stay sound: {:?}", steps);
+        let sim_fp = Fingerprint::of(&sim);
         for shards in SHARD_COUNTS {
-            let threaded = threaded_fingerprint(&steps, shards);
+            let threaded = threaded_report(&steps, shards);
             prop_assert_eq!(
-                &sim,
-                &threaded,
+                &threaded.app_sent,
+                &sim.app_sent,
+                "send counts disagree at {} shards on {:?}",
+                shards,
+                steps
+            );
+            let threaded_fp = Fingerprint::of(&threaded);
+            prop_assert_eq!(
+                &sim_fp,
+                &threaded_fp,
                 "substrates disagree at {} shards on {:?}",
                 shards,
                 steps
