@@ -1,0 +1,233 @@
+//! The campaign runner: sweep scenarios × topologies × seeds, check every
+//! invariant on every cell, and render a deterministic JSON summary.
+
+use crate::invariants;
+use crate::json;
+use crate::scenarios::{scenarios, topologies, Scenario};
+use netsim::Topology;
+use simdriver::run_hostile;
+
+/// What to sweep. Scenarios and topologies always come from the library;
+/// the plan only chooses the seeds.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Seeds each scenario × topology cell is run with.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for CampaignPlan {
+    fn default() -> Self {
+        // 20040426: the paper's publication date. The others are arbitrary
+        // but fixed — the golden summary is keyed to them.
+        Self {
+            seeds: vec![20040426, 7, 424242],
+        }
+    }
+}
+
+/// The outcome of one campaign cell (scenario × topology × seed).
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Topology preset name.
+    pub topology: &'static str,
+    /// Seed the cell ran with.
+    pub seed: u64,
+    /// Invariant violations (empty = cell passed).
+    pub violations: Vec<String>,
+    /// Total rollbacks across the federation.
+    pub rollbacks: u64,
+    /// Application messages the workload issued.
+    pub app_sent: u64,
+    /// Application messages delivered end-to-end.
+    pub app_delivered: u64,
+    /// Hostile duplicates injected.
+    pub duplicates: u64,
+    /// Messages held at a partition cut.
+    pub held: u64,
+    /// Messages reordered past FIFO.
+    pub reordered: u64,
+    /// Completed garbage collections across the federation.
+    pub gc_runs: u64,
+    /// Forced (communication-induced) CLCs across the federation.
+    pub forced_clcs: u64,
+    /// Unforced (timer-driven) CLCs across the federation.
+    pub unforced_clcs: u64,
+    /// Simulator events dispatched (a cheap whole-run fingerprint).
+    pub events: u64,
+}
+
+/// A completed campaign: one [`CellOutcome`] per cell, in deterministic
+/// scenario-major, then topology, then seed order.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// All cell outcomes.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl CampaignSummary {
+    /// True when no cell recorded a violation.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.violations.is_empty())
+    }
+
+    /// Cells with at least one violation.
+    pub fn failures(&self) -> Vec<&CellOutcome> {
+        self.cells
+            .iter()
+            .filter(|c| !c.violations.is_empty())
+            .collect()
+    }
+
+    /// Render the summary as deterministic, diff-friendly JSON (one cell
+    /// per entry, fixed key order, no wall-clock values, trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"hc3i-campaign-v1\",\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"scenario\": \"{}\",\n",
+                json::escape(c.scenario)
+            ));
+            out.push_str(&format!(
+                "      \"topology\": \"{}\",\n",
+                json::escape(c.topology)
+            ));
+            out.push_str(&format!("      \"seed\": {},\n", c.seed));
+            out.push_str(&format!(
+                "      \"violations\": {},\n",
+                json::string_array(&c.violations)
+            ));
+            out.push_str(&format!("      \"rollbacks\": {},\n", c.rollbacks));
+            out.push_str(&format!("      \"app_sent\": {},\n", c.app_sent));
+            out.push_str(&format!("      \"app_delivered\": {},\n", c.app_delivered));
+            out.push_str(&format!("      \"duplicates\": {},\n", c.duplicates));
+            out.push_str(&format!("      \"held\": {},\n", c.held));
+            out.push_str(&format!("      \"reordered\": {},\n", c.reordered));
+            out.push_str(&format!("      \"gc_runs\": {},\n", c.gc_runs));
+            out.push_str(&format!("      \"forced_clcs\": {},\n", c.forced_clcs));
+            out.push_str(&format!("      \"unforced_clcs\": {},\n", c.unforced_clcs));
+            out.push_str(&format!("      \"events\": {}\n", c.events));
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Run one cell: build the scenario for `(topo, seed)`, run it, and check
+/// every invariant.
+fn run_cell(
+    scenario: &Scenario,
+    topo_name: &'static str,
+    topo: &Topology,
+    seed: u64,
+) -> CellOutcome {
+    let built = scenario.build(topo, seed);
+    let (report, hostile) = run_hostile(built.cfg);
+
+    let mut violations = Vec::new();
+    violations.extend(invariants::soundness(&report));
+    violations.extend(invariants::rollback_waves(&report, &built.waves));
+    violations.extend(invariants::gc_liveness(&report, &built.gc));
+    violations.extend(invariants::no_lost_committed_work(&hostile));
+    violations.extend(invariants::delivered_record_consistency(&hostile));
+
+    CellOutcome {
+        scenario: scenario.name,
+        topology: topo_name,
+        seed,
+        violations,
+        rollbacks: report.total_rollbacks() as u64,
+        app_sent: report.app_sent,
+        app_delivered: report.app_delivered,
+        duplicates: hostile.duplicates_injected,
+        held: hostile.messages_held,
+        reordered: hostile.messages_reordered,
+        gc_runs: report
+            .clusters
+            .iter()
+            .map(|c| c.gc_before_after.len() as u64)
+            .sum(),
+        forced_clcs: report.clusters.iter().map(|c| c.forced_clcs).sum(),
+        unforced_clcs: report.clusters.iter().map(|c| c.unforced_clcs).sum(),
+        events: report.events_processed,
+    }
+}
+
+/// Run the full scenario × topology × seed matrix.
+///
+/// `progress` is called after each cell with the finished outcome — the
+/// CLI uses it to stream one line per cell; pass `|_| {}` for silence.
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    mut progress: impl FnMut(&CellOutcome),
+) -> CampaignSummary {
+    let topos = topologies();
+    let mut cells = Vec::new();
+    for scenario in scenarios() {
+        for (topo_name, topo) in &topos {
+            for &seed in &plan.seeds {
+                let cell = run_cell(&scenario, topo_name, topo, seed);
+                progress(&cell);
+                cells.push(cell);
+            }
+        }
+    }
+    CampaignSummary { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small cell, run twice: identical outcome (the determinism the
+    /// golden diff rests on), and all invariants hold.
+    #[test]
+    fn single_cell_is_deterministic_and_clean() {
+        let topos = topologies();
+        let (name, topo) = &topos[0];
+        let scenarios = scenarios();
+        let a = run_cell(&scenarios[0], name, topo, 7);
+        let b = run_cell(&scenarios[0], name, topo, 7);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.app_delivered, b.app_delivered);
+        assert_eq!(a.rollbacks, b.rollbacks);
+        assert_eq!(a.duplicates, b.duplicates);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let summary = CampaignSummary {
+            cells: vec![CellOutcome {
+                scenario: "s",
+                topology: "t",
+                seed: 1,
+                violations: vec!["v".into()],
+                rollbacks: 2,
+                app_sent: 3,
+                app_delivered: 4,
+                duplicates: 5,
+                held: 6,
+                reordered: 7,
+                gc_runs: 8,
+                forced_clcs: 9,
+                unforced_clcs: 10,
+                events: 11,
+            }],
+        };
+        let j = summary.to_json();
+        assert!(j.starts_with("{\n  \"schema\": \"hc3i-campaign-v1\""));
+        assert!(j.contains("\"violations\": [\"v\"]"));
+        assert!(j.ends_with("  ]\n}\n"));
+        assert!(!summary.passed());
+        assert_eq!(summary.failures().len(), 1);
+    }
+}

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("sample-configs") => cmd_sample(&args[1..]),
         _ => {
             eprint!("{USAGE}");
@@ -44,6 +45,7 @@ usage:
            [--contention none|fifo] [--replication N]
            [--trace protocol|full] [--trace-file PATH]
            [--runtime [--shards N]]
+  hc3i-sim campaign [--json PATH] [--seeds N,N,...]
   hc3i-sim sample-configs DIR
 
 flags:
@@ -61,6 +63,10 @@ flags:
                      the workload drains, and gc_timer maps to one final
                      collection)
   --shards N         worker-pool size for --runtime (default: all cores)
+
+campaign flags:
+  --json PATH        write the deterministic JSON summary to PATH
+  --seeds N,N,...    override the default seed set (20040426,7,424242)
 ";
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -333,6 +339,80 @@ fn run_live(
         ));
     }
     Ok(fed.report())
+}
+
+/// `hc3i-sim campaign`: run the adversarial scenario × topology × seed
+/// matrix, print one line per cell, and exit nonzero on any invariant
+/// violation. `--json PATH` writes the deterministic summary CI diffs
+/// against the committed golden.
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut plan = campaign::CampaignPlan::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage_error("--json needs a path"),
+            },
+            "--seeds" => {
+                let Some(list) = it.next() else {
+                    return usage_error("--seeds needs a comma-separated list");
+                };
+                let parsed: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(seeds) if !seeds.is_empty() => plan.seeds = seeds,
+                    _ => return usage_error("--seeds wants integers like 1,2,3"),
+                }
+            }
+            other => return usage_error(&format!("unknown campaign flag {other}")),
+        }
+    }
+
+    let summary = campaign::run_campaign(&plan, |cell| {
+        let status = if cell.violations.is_empty() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{status:4} {:<20} {:<12} seed {:<10} rollbacks {:<2} delivered {}/{} dup {} held {} reord {}",
+            cell.scenario,
+            cell.topology,
+            cell.seed,
+            cell.rollbacks,
+            cell.app_delivered,
+            cell.app_sent,
+            cell.duplicates,
+            cell.held,
+            cell.reordered,
+        );
+        for v in &cell.violations {
+            println!("       - {v}");
+        }
+    });
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("summary written to {path}");
+    }
+
+    let failures = summary.failures();
+    if failures.is_empty() {
+        println!("campaign passed: {} cells clean", summary.cells.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "campaign FAILED: {}/{} cells violated protocol invariants",
+            failures.len(),
+            summary.cells.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn usage_error(msg: &str) -> ExitCode {

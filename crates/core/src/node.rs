@@ -608,6 +608,17 @@ impl NodeEngine {
             });
             return;
         }
+        // Duplicate of a message already held for a forced CLC (a
+        // duplicating WAN, or an original racing a replay): drop it — the
+        // held copy is delivered and acknowledged exactly once when the
+        // CLC commits.
+        if self
+            .pending_inter
+            .iter()
+            .any(|p| p.from == from && p.log_id == log_id)
+        {
+            return;
+        }
         if self.needs_forced_clc(&piggyback, from.cluster.index()) {
             // Hold the message and ask the coordinator for a forced CLC
             // (paper §3.2: delivered only once the forced CLC commits).
@@ -653,7 +664,17 @@ impl NodeEngine {
     fn recheck_pending(&mut self, out: &mut OutputBuf) {
         let mut still_pending = Vec::new();
         for p in std::mem::take(&mut self.pending_inter) {
-            if self.needs_forced_clc(&p.piggyback, p.from.cluster.index()) {
+            if let Some(ack_sn) = self.delivered.get(&(p.from, p.log_id.0)) {
+                // Another copy was delivered while this one was held:
+                // re-acknowledge, never re-deliver.
+                out.push(Output::Send {
+                    to: p.from,
+                    msg: Msg::InterAck {
+                        log_id: p.log_id,
+                        receiver_sn: ack_sn,
+                    },
+                });
+            } else if self.needs_forced_clc(&p.piggyback, p.from.cluster.index()) {
                 still_pending.push(p);
             } else {
                 self.deliver_inter(p.from, p.payload, p.log_id, out);

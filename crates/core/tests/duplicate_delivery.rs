@@ -1,0 +1,218 @@
+//! Duplicate-message idempotence at the engine level.
+//!
+//! A duplicating WAN (or an original racing a §3.3 replay) can hand a
+//! `NodeEngine` the same message twice. Every protocol message must be
+//! idempotent on the second copy: re-acked, ignored, or dropped — never
+//! double-counted and never delivered twice to the application.
+
+use hc3i_core::testkit::InstantFederation;
+use hc3i_core::{
+    AppPayload, Ddv, Input, LogId, Msg, NodeEngine, Output, OutputBuf, Piggyback, ProtocolConfig,
+    SeqNum,
+};
+use netsim::NodeId;
+use std::sync::Arc;
+
+fn receive(from: NodeId, msg: Msg) -> Input {
+    Input::Receive { from, msg }
+}
+
+/// A duplicated `AppInter` whose original was already delivered is
+/// re-acknowledged from the delivered record, never re-delivered.
+#[test]
+fn duplicate_app_inter_is_reacked_not_redelivered() {
+    let mut fed = InstantFederation::new(ProtocolConfig::new(vec![2, 2]));
+    let sender = NodeId::new(0, 0);
+    let receiver = NodeId::new(1, 0);
+    fed.app_send(sender, receiver, AppPayload { bytes: 256, tag: 1 });
+    assert_eq!(fed.delivered_tags(receiver), vec![1]);
+
+    // The WAN re-delivers the same message (the sender logged it as
+    // LogId(0), its first inter-cluster send).
+    fed.input(
+        receiver,
+        receive(
+            sender,
+            Msg::AppInter {
+                payload: AppPayload { bytes: 256, tag: 1 },
+                piggyback: Piggyback::Sn(SeqNum(0)),
+                log_id: LogId(0),
+                resend: false,
+                sender_epoch: 0,
+            },
+        ),
+    );
+    assert_eq!(
+        fed.delivered_tags(receiver),
+        vec![1],
+        "duplicate must not reach the application a second time"
+    );
+}
+
+/// A duplicated `ClcCommit` after the round already committed finds no
+/// frozen state and is a no-op: no double-counted commit, no SN change.
+#[test]
+fn duplicate_clc_commit_is_a_no_op() {
+    let mut fed = InstantFederation::new(ProtocolConfig::new(vec![2, 2]));
+    fed.fire_clc_timer(0);
+    assert_eq!(fed.clc_counts(0), (1, 0));
+    let node = NodeId::new(0, 1);
+    // The initial CLC is SN 1 (paper §4), so the timer commit is SN 2.
+    let sn = fed.engine(node).sn();
+    assert_eq!(sn, SeqNum(2));
+
+    let ddv = Arc::new(fed.engine(node).ddv().clone());
+    fed.input(
+        node,
+        receive(
+            NodeId::new(0, 0),
+            Msg::ClcCommit {
+                round: 1,
+                sn,
+                ddv,
+                forced: false,
+                epoch: 0,
+            },
+        ),
+    );
+    assert_eq!(fed.clc_counts(0), (1, 0), "commit double-counted");
+    assert_eq!(fed.engine(node).sn(), sn);
+    assert!(!fed.engine(node).is_frozen());
+}
+
+/// A duplicated `FragmentReplica` after the round committed re-stores the
+/// fragment and re-acks `FragmentStored`; the owner (no longer frozen)
+/// ignores the stale ack. Nothing advances, nothing panics.
+#[test]
+fn duplicate_fragment_replica_is_idempotent() {
+    let mut fed = InstantFederation::new(ProtocolConfig::new(vec![2, 2]));
+    fed.fire_clc_timer(0);
+    assert_eq!(fed.clc_counts(0), (1, 0));
+    let holder = NodeId::new(0, 0);
+    let sn_before = fed.engine(holder).sn();
+
+    fed.input(
+        holder,
+        receive(
+            NodeId::new(0, 1),
+            Msg::FragmentReplica {
+                round: 1,
+                owner: 1,
+                epoch: 0,
+            },
+        ),
+    );
+    assert_eq!(fed.clc_counts(0), (1, 0));
+    assert_eq!(fed.engine(holder).sn(), sn_before);
+    assert!(!fed.engine(holder).is_frozen());
+    assert!(!fed.engine(NodeId::new(0, 1)).is_frozen());
+}
+
+/// Regression: a duplicate arriving while the original is held for a
+/// forced CLC must be dropped — before the dedup check in `recv_inter`,
+/// both copies were queued and the commit delivered the payload twice.
+/// This drives a bare engine through the full forced-CLC round by hand so
+/// the hold window stays open across the duplicate.
+#[test]
+fn pending_duplicate_delivers_exactly_once() {
+    let cfg = ProtocolConfig::new(vec![1, 2]);
+    let me = NodeId::new(1, 1); // rank 1: not the coordinator, so the
+                                // forced CLC stays in flight until we
+                                // deliver the round by hand.
+    let mut engine = NodeEngine::new(cfg, me);
+    let mut out = OutputBuf::new();
+    let sender = NodeId::new(0, 0);
+    let t = |n: u64| desim::SimTime::ZERO + desim::SimDuration::from_nanos(n);
+    let app_inter = || {
+        receive(
+            sender,
+            Msg::AppInter {
+                payload: AppPayload { bytes: 256, tag: 9 },
+                // The sender's cluster is one CLC ahead: forces a CLC here.
+                piggyback: Piggyback::Sn(SeqNum(1)),
+                log_id: LogId(0),
+                resend: false,
+                sender_epoch: 0,
+            },
+        )
+    };
+
+    let mut deliveries = 0usize;
+    let mut drain = |out: &mut OutputBuf| {
+        let outs: Vec<Output> = out.drain().collect();
+        deliveries += outs
+            .iter()
+            .filter(|o| matches!(o, Output::DeliverApp { .. }))
+            .count();
+        outs
+    };
+
+    // Original: held, CLC requested from the coordinator.
+    engine.handle(t(1), app_inter(), &mut out);
+    let outs = drain(&mut out);
+    assert_eq!(engine.pending_inter_count(), 1);
+    assert!(outs
+        .iter()
+        .any(|o| matches!(o, Output::Send { to, msg: Msg::ClcInit { .. } } if to.rank == 0)));
+
+    // Duplicate while held: dropped, not queued a second time.
+    engine.handle(t(2), app_inter(), &mut out);
+    let outs = drain(&mut out);
+    assert_eq!(engine.pending_inter_count(), 1, "duplicate was queued");
+    assert!(outs.is_empty(), "duplicate produced outputs: {outs:?}");
+
+    // Run the 2PC round by hand: request → fragment stored → commit.
+    let coord = NodeId::new(1, 0);
+    engine.handle(
+        t(3),
+        receive(coord, Msg::ClcRequest { round: 1, epoch: 0 }),
+        &mut out,
+    );
+    drain(&mut out);
+    engine.handle(
+        t(4),
+        receive(
+            coord,
+            Msg::FragmentStored {
+                round: 1,
+                holder: 0,
+                epoch: 0,
+            },
+        ),
+        &mut out,
+    );
+    drain(&mut out);
+    engine.handle(
+        t(5),
+        receive(
+            coord,
+            Msg::ClcCommit {
+                round: 1,
+                // The initial CLC is SN 1, so this forced CLC commits as 2.
+                sn: SeqNum(2),
+                // The commit records the dependency on the sender cluster,
+                // so the held message no longer forces anything.
+                ddv: Arc::new(Ddv::from_entries(vec![SeqNum(1), SeqNum(2)])),
+                forced: true,
+                epoch: 0,
+            },
+        ),
+        &mut out,
+    );
+    let outs = drain(&mut out);
+    assert_eq!(engine.pending_inter_count(), 0);
+    assert!(
+        outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: Msg::InterAck { .. },
+                ..
+            }
+        )),
+        "held message must be acknowledged at commit"
+    );
+    assert_eq!(
+        deliveries, 1,
+        "payload must reach the application exactly once"
+    );
+}

@@ -49,7 +49,7 @@ pub mod trace;
 
 pub use engine::{Ctx, RunOutcome, Simulation, World};
 pub use queue::{EventKey, EventQueue};
-pub use rng::{exponential, uniform, RngStreams};
+pub use rng::{exponential, pareto, uniform, RngStreams};
 pub use stats::{Counter, Histogram, StatsRegistry, Tally, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLevel, TraceRecord, Tracer};

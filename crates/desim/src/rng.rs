@@ -71,6 +71,19 @@ pub fn exponential(rng: &mut impl Rng, mean_secs: f64) -> f64 {
     -u.ln() * mean_secs
 }
 
+/// Draw from a Pareto (power-law) distribution with minimum `scale` and
+/// tail exponent `alpha`, by inverse transform. Heavy-tailed for
+/// `alpha <= 2`; the mean is `scale * alpha / (alpha - 1)` for
+/// `alpha > 1`. Returns 0 for non-positive parameters.
+pub fn pareto(rng: &mut impl Rng, scale: f64, alpha: f64) -> f64 {
+    if scale <= 0.0 || alpha <= 0.0 {
+        return 0.0;
+    }
+    // Sample u in (0, 1]; scale / u^(1/alpha) is Pareto(scale, alpha).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    scale / u.powf(1.0 / alpha)
+}
+
 /// Draw uniformly from `[lo, hi)`; degenerate ranges return `lo`.
 pub fn uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
     if hi <= lo {
@@ -146,6 +159,30 @@ mod tests {
             let x = exponential(&mut rng, 1.0);
             assert!(x.is_finite() && x >= 0.0);
         }
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = RngStreams::new(13).stream("par", 0);
+        for _ in 0..10_000 {
+            let x = pareto(&mut rng, 2.0, 1.5);
+            assert!(x >= 2.0 && x.is_finite());
+        }
+        assert_eq!(pareto(&mut rng, 0.0, 1.5), 0.0);
+        assert_eq!(pareto(&mut rng, 2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pareto_mean_converges_for_light_tail() {
+        // alpha = 3 has a finite, well-behaved mean: scale * 3 / 2.
+        let mut rng = RngStreams::new(17).stream("par", 1);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| pareto(&mut rng, 1.0, 3.0)).sum();
+        let estimate = sum / n as f64;
+        assert!(
+            (estimate - 1.5).abs() < 0.05,
+            "sample mean {estimate} too far from 1.5"
+        );
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Hostile-network fault model.
+//!
+//! The base [`Network`](crate::Network) is deliberately well-behaved:
+//! reliable, FIFO, loss-free. The paper's evaluation only ever ran on such
+//! a network, yet partition tolerance is exactly where hierarchical
+//! checkpointing should earn its keep. This module layers adversarial
+//! behaviour *on top of* the base model without touching its timing or
+//! accounting:
+//!
+//! * **cluster partitions with scripted heals** — inter-cluster messages
+//!   crossing an active cut are held in the WAN and arrive just after the
+//!   heal, in send order;
+//! * **message duplication** — a second copy of an inter-cluster message
+//!   arrives a bounded delay after the first (the network charges nothing
+//!   for the ghost copy, so traffic accounting is unchanged);
+//! * **bounded reordering** — an inter-cluster message may overtake or be
+//!   overtaken within a jitter bound (the SAN inside a cluster stays FIFO:
+//!   the protocol's intra-cluster ordering is part of its machine model);
+//! * **asymmetric per-cluster-pair latency skew** — each *directed* cluster
+//!   pair can carry an extra base + jitter delay.
+//!
+//! Everything is driven by one embedded SplitMix64 generator seeded from
+//! the [`HostileSpec`], so runs remain a pure function of their
+//! configuration, and a spec with all features disabled draws nothing.
+
+use crate::hashing::FastHashMap;
+use crate::ids::{ClusterId, NodeId};
+use desim::{SimDuration, SimTime};
+
+/// SplitMix64 generator, embedded so the fault model needs no external RNG
+/// dependency and its draws cannot perturb any other stream of a run.
+#[derive(Debug, Clone)]
+pub struct Mix64 {
+    state: u64,
+}
+
+impl Mix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        Mix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform duration in `[0, max)`; zero for a zero bound.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max.nanos() == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.next_u64() % max.nanos())
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        self.next_u64() % n
+    }
+}
+
+/// Extra one-way delay for a directed cluster pair: a fixed base plus a
+/// uniform jitter in `[0, jitter)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyDist {
+    /// Deterministic extra delay added to every message of the pair.
+    pub base: SimDuration,
+    /// Upper bound of the uniform random component.
+    pub jitter: SimDuration,
+}
+
+impl LatencyDist {
+    fn sample(&self, rng: &mut Mix64) -> SimDuration {
+        self.base.saturating_add(rng.jitter(self.jitter))
+    }
+}
+
+/// A scripted cluster partition: from `at` until `until`, the clusters in
+/// `group` cannot exchange messages with the clusters outside it.
+///
+/// Messages crossing the cut while it is active are *held*, not dropped —
+/// the model is a WAN outage with retransmission, so held messages arrive
+/// just after the heal, still in per-channel send order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Cut activation time.
+    pub at: SimTime,
+    /// Heal time (exclusive: messages flow again from here on).
+    pub until: SimTime,
+    /// Clusters on one side of the cut; every other cluster is on the
+    /// other side.
+    pub group: Vec<u16>,
+}
+
+impl PartitionSpec {
+    /// True if the cut separates clusters `a` and `b`.
+    pub fn severs(&self, a: ClusterId, b: ClusterId) -> bool {
+        self.group.contains(&a.0) != self.group.contains(&b.0)
+    }
+}
+
+/// Seeded hostile-network behaviour. The default spec disables everything
+/// and draws no random numbers, so it composes with scripted partitions
+/// without perturbing their determinism.
+#[derive(Debug, Clone, Default)]
+pub struct HostileSpec {
+    /// Seed of the embedded generator.
+    pub seed: u64,
+    /// Probability that an inter-cluster message is duplicated.
+    pub duplication: f64,
+    /// Upper bound of the duplicate copy's extra delay beyond the original
+    /// arrival.
+    pub dup_delay: SimDuration,
+    /// Probability that an inter-cluster message is released from FIFO
+    /// order and delayed by a jitter (allowing later sends to overtake it).
+    pub reorder: f64,
+    /// Upper bound of the reordering jitter.
+    pub reorder_jitter: SimDuration,
+    /// Per *directed* cluster-pair latency skew `(from, to, dist)`.
+    pub skew: Vec<(u16, u16, LatencyDist)>,
+}
+
+impl HostileSpec {
+    /// A spec with everything off, drawing from `seed` once features are
+    /// enabled.
+    pub fn seeded(seed: u64) -> Self {
+        HostileSpec {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Enable duplication of inter-cluster messages.
+    pub fn with_duplication(mut self, p: f64, dup_delay: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplication = p;
+        self.dup_delay = dup_delay;
+        self
+    }
+
+    /// Enable bounded reordering of inter-cluster messages.
+    pub fn with_reorder(mut self, p: f64, jitter: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.reorder = p;
+        self.reorder_jitter = jitter;
+        self
+    }
+
+    /// Add an asymmetric latency skew on the directed pair `from → to`.
+    pub fn with_skew(mut self, from: u16, to: u16, dist: LatencyDist) -> Self {
+        self.skew.push((from, to, dist));
+        self
+    }
+
+    /// True if no feature is enabled (partitions are configured
+    /// separately).
+    pub fn is_quiet(&self) -> bool {
+        self.duplication <= 0.0 && self.reorder <= 0.0 && self.skew.is_empty()
+    }
+}
+
+/// What the hostile layer did to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostileOutcome {
+    /// Possibly-adjusted arrival time of the (first) copy.
+    pub arrival: SimTime,
+    /// Arrival time of a duplicate copy, if one was injected.
+    pub duplicate: Option<SimTime>,
+    /// The message was held by an active partition.
+    pub held: bool,
+}
+
+/// Post-processor applied to every scheduled delivery. Owns its own FIFO
+/// clamp state: once any message of a run is touched, arrival order per
+/// channel is re-established here (except where reordering deliberately
+/// breaks it).
+#[derive(Debug)]
+pub struct HostileNet {
+    spec: HostileSpec,
+    partitions: Vec<PartitionSpec>,
+    rng: Mix64,
+    skew: FastHashMap<(u16, u16), LatencyDist>,
+    last_arrival: FastHashMap<(NodeId, NodeId), SimTime>,
+    /// Messages held at a partition cut.
+    pub held: u64,
+    /// Duplicate copies injected.
+    pub duplicates: u64,
+    /// Messages released from FIFO order.
+    pub reordered: u64,
+}
+
+impl HostileNet {
+    /// Build from a spec and a scripted partition schedule.
+    pub fn new(spec: HostileSpec, partitions: Vec<PartitionSpec>) -> Self {
+        for p in &partitions {
+            assert!(p.at < p.until, "partition heals before it starts");
+        }
+        let mut skew = FastHashMap::default();
+        for &(from, to, dist) in &spec.skew {
+            skew.insert((from, to), dist);
+        }
+        let rng = Mix64::new(spec.seed);
+        HostileNet {
+            spec,
+            partitions,
+            rng,
+            skew,
+            last_arrival: FastHashMap::default(),
+            held: 0,
+            duplicates: 0,
+            reordered: 0,
+        }
+    }
+
+    /// The partition schedule.
+    pub fn partitions(&self) -> &[PartitionSpec] {
+        &self.partitions
+    }
+
+    /// Post-process one delivery scheduled by the base network: apply
+    /// latency skew, reordering, partition holds and duplication, in that
+    /// order. `arrival` is the base network's arrival time (already FIFO
+    /// per channel).
+    pub fn post(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        arrival: SimTime,
+    ) -> HostileOutcome {
+        let inter = from.cluster != to.cluster;
+        let mut arrival = arrival;
+        let mut reordered = false;
+        let mut held = false;
+
+        // 1. Asymmetric per-pair latency skew.
+        if let Some(dist) = self.skew.get(&(from.cluster.0, to.cluster.0)).copied() {
+            arrival = arrival.saturating_add(dist.sample(&mut self.rng));
+        }
+
+        // 2. Bounded reordering: the message is released from FIFO order
+        //    and pushed back by a jitter, letting later sends overtake it.
+        //    Inter-cluster only: the protocol's correctness argument leans
+        //    on intra-cluster (SAN) FIFO, e.g. RollbackOrder preceding
+        //    AlertLocal on every channel.
+        if inter && self.spec.reorder > 0.0 && self.rng.chance(self.spec.reorder) {
+            arrival = arrival.saturating_add(self.rng.jitter(self.spec.reorder_jitter));
+            reordered = true;
+            self.reordered += 1;
+        }
+
+        // 3. Partition hold: a message crossing an active cut sits in the
+        //    WAN until the heal. The FIFO clamp below then serializes all
+        //    held messages of a channel in send order after the heal.
+        if inter {
+            for p in &self.partitions {
+                if p.severs(from.cluster, to.cluster) && now < p.until && arrival >= p.at {
+                    let release = p.until.saturating_add(SimDuration::from_nanos(1));
+                    if release > arrival {
+                        arrival = release;
+                        held = true;
+                        self.held += 1;
+                    }
+                    break;
+                }
+            }
+        }
+
+        // 4. Re-establish per-channel FIFO unless this message was
+        //    deliberately reordered.
+        let last = self.last_arrival.entry((from, to)).or_insert(SimTime::ZERO);
+        if !reordered && *last != SimTime::ZERO && arrival <= *last {
+            arrival = last.saturating_add(SimDuration::from_nanos(1));
+        }
+        *last = (*last).max(arrival);
+
+        // 5. Duplication: a ghost copy arrives after the original. The
+        //    base network never sees it, so byte/message accounting is
+        //    untouched by construction.
+        let duplicate =
+            if inter && self.spec.duplication > 0.0 && self.rng.chance(self.spec.duplication) {
+                self.duplicates += 1;
+                Some(
+                    arrival
+                        .saturating_add(SimDuration::from_nanos(1))
+                        .saturating_add(self.rng.jitter(self.spec.dup_delay)),
+                )
+            } else {
+                None
+            };
+
+        HostileOutcome {
+            arrival,
+            duplicate,
+            held,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(c: u16, r: u32) -> NodeId {
+        NodeId::new(c, r)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn quiet_spec_is_identity() {
+        let mut h = HostileNet::new(HostileSpec::seeded(1), vec![]);
+        for i in 0..100u64 {
+            let at = t(i + 1);
+            let o = h.post(t(i), n(0, 0), n(1, 0), at);
+            assert_eq!(o.arrival, at);
+            assert_eq!(o.duplicate, None);
+            assert!(!o.held);
+        }
+        assert_eq!(h.duplicates + h.held + h.reordered, 0);
+    }
+
+    #[test]
+    fn partition_holds_crossing_messages_until_heal() {
+        let cut = PartitionSpec {
+            at: t(100),
+            until: t(200),
+            group: vec![0],
+        };
+        let mut h = HostileNet::new(HostileSpec::default(), vec![cut]);
+        // Sent and arriving before the cut: untouched.
+        assert_eq!(h.post(t(10), n(0, 0), n(1, 0), t(11)).arrival, t(11));
+        // In flight when the cut activates: held to the heal.
+        let o = h.post(t(99), n(0, 0), n(1, 0), t(101));
+        assert!(o.held);
+        assert!(o.arrival > t(200));
+        // Sent mid-outage: held too, and FIFO after the earlier hold.
+        let o2 = h.post(t(150), n(0, 0), n(1, 0), t(151));
+        assert!(o2.held);
+        assert!(o2.arrival > o.arrival, "heal releases in send order");
+        // Sent after the heal: flows normally (but FIFO after the held).
+        let o3 = h.post(t(250), n(0, 0), n(1, 0), t(251));
+        assert!(!o3.held);
+        assert_eq!(o3.arrival, t(251));
+        assert_eq!(h.held, 2);
+    }
+
+    #[test]
+    fn partition_spares_same_side_and_intra_traffic() {
+        let cut = PartitionSpec {
+            at: t(0) + SimDuration::from_nanos(1),
+            until: t(1000),
+            group: vec![0, 1],
+        };
+        assert!(cut.severs(ClusterId(0), ClusterId(2)));
+        assert!(!cut.severs(ClusterId(0), ClusterId(1)));
+        assert!(!cut.severs(ClusterId(2), ClusterId(3)));
+        let mut h = HostileNet::new(HostileSpec::default(), vec![cut]);
+        // Same side of the cut: untouched.
+        assert!(!h.post(t(10), n(0, 0), n(1, 0), t(11)).held);
+        // Intra-cluster: untouched even mid-outage.
+        assert!(!h.post(t(10), n(2, 0), n(2, 1), t(11)).held);
+        // Across the cut: held.
+        assert!(h.post(t(10), n(0, 0), n(2, 0), t(11)).held);
+    }
+
+    #[test]
+    fn duplication_is_inter_cluster_only_and_after_original() {
+        let spec = HostileSpec::seeded(7).with_duplication(1.0, SimDuration::from_millis(5));
+        let mut h = HostileNet::new(spec, vec![]);
+        let o = h.post(t(0), n(0, 0), n(1, 0), t(1));
+        let dup = o.duplicate.expect("p=1 duplicates");
+        assert!(dup > o.arrival);
+        assert!(dup <= o.arrival + SimDuration::from_millis(5) + SimDuration::from_nanos(1));
+        // Intra-cluster messages are never duplicated (the SAN is
+        // exactly-once; 2PC control traffic must not be replayed).
+        let o2 = h.post(t(2), n(1, 0), n(1, 1), t(3));
+        assert_eq!(o2.duplicate, None);
+        assert_eq!(h.duplicates, 1);
+    }
+
+    #[test]
+    fn reordering_breaks_fifo_only_for_chosen_messages() {
+        let spec = HostileSpec::seeded(3).with_reorder(1.0, SimDuration::from_millis(10));
+        let mut h = HostileNet::new(spec, vec![]);
+        let o1 = h.post(t(0), n(0, 0), n(1, 0), t(1));
+        assert!(o1.arrival >= t(1));
+        // Intra stays FIFO and un-jittered.
+        let i1 = h.post(t(0), n(0, 0), n(0, 1), t(1));
+        assert_eq!(i1.arrival, t(1));
+        assert_eq!(h.reordered, 1);
+    }
+
+    #[test]
+    fn skew_applies_to_one_direction_only() {
+        let dist = LatencyDist {
+            base: SimDuration::from_millis(50),
+            jitter: SimDuration::ZERO,
+        };
+        let spec = HostileSpec::seeded(11).with_skew(0, 1, dist);
+        let mut h = HostileNet::new(spec, vec![]);
+        assert_eq!(h.post(t(0), n(0, 0), n(1, 0), t(1)).arrival, t(51));
+        assert_eq!(h.post(t(0), n(1, 0), n(0, 0), t(1)).arrival, t(1));
+    }
+
+    #[test]
+    fn same_seed_same_outcomes() {
+        let mk = || {
+            let spec = HostileSpec::seeded(99)
+                .with_duplication(0.5, SimDuration::from_millis(2))
+                .with_reorder(0.5, SimDuration::from_millis(2));
+            let mut h = HostileNet::new(spec, vec![]);
+            (0..200u64)
+                .map(|i| h.post(t(i), n(0, 0), n(1, 0), t(i + 1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn chance_extremes_draw_nothing_at_zero() {
+        let mut a = Mix64::new(5);
+        assert!(!a.chance(0.0));
+        assert!(a.chance(1.0));
+        let before = a.clone().next_u64();
+        // p=0 must not consume a draw (quiet specs stay draw-free).
+        assert!(!a.chance(-1.0));
+        assert_eq!(a.next_u64(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "heals before")]
+    fn inverted_partition_window_rejected() {
+        let _ = HostileNet::new(
+            HostileSpec::default(),
+            vec![PartitionSpec {
+                at: t(10),
+                until: t(5),
+                group: vec![0],
+            }],
+        );
+    }
+}

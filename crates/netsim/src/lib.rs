@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod hashing;
+pub mod hostile;
 pub mod ids;
 pub mod network;
 pub mod topology;
 
 pub use hashing::{FastHashMap, FastHasher};
+pub use hostile::{HostileNet, HostileOutcome, HostileSpec, LatencyDist, Mix64, PartitionSpec};
 pub use ids::{ClusterId, NodeId};
 pub use network::{ContentionModel, MessageClass, Network, TrafficCell};
 pub use topology::{ClusterSpec, LinkSpec, Topology, TriMatrix};

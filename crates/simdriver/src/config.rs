@@ -2,7 +2,7 @@
 
 use desim::{SimDuration, SimTime, TraceLevel};
 use hc3i_core::ProtocolConfig;
-use netsim::{ContentionModel, NodeId, Topology};
+use netsim::{ContentionModel, HostileSpec, NodeId, PartitionSpec, Topology};
 use workload::SendEvent;
 
 /// A scripted node failure.
@@ -46,6 +46,17 @@ pub struct SimConfig {
     pub seed: u64,
     /// Trace level (the paper's compile-time trace levels, made runtime).
     pub trace: TraceLevel,
+    /// Hostile-network behaviour (duplication, reordering, latency skew).
+    /// `None` keeps the pristine network and the exact event stream of a
+    /// run that predates the hostile model.
+    pub hostile: Option<HostileSpec>,
+    /// Scripted cluster partitions with heal times. Inter-cluster messages
+    /// crossing an active cut are held until the heal.
+    pub partitions: Vec<PartitionSpec>,
+    /// Record a per-tag delivery ledger into the side statistics of
+    /// [`run_hostile`](crate::run_hostile). Observation only; the run
+    /// itself is unaffected.
+    pub track_delivery: bool,
 }
 
 impl SimConfig {
@@ -71,6 +82,9 @@ impl SimConfig {
             contention: ContentionModel::Unlimited,
             seed: 0xC3C3_C3C3,
             trace: TraceLevel::Off,
+            hostile: None,
+            partitions: vec![],
+            track_delivery: false,
         }
     }
 
@@ -132,6 +146,26 @@ impl SimConfig {
     /// Set the trace level.
     pub fn with_trace(mut self, level: TraceLevel) -> Self {
         self.trace = level;
+        self
+    }
+
+    /// Enable the hostile-network fault model.
+    pub fn with_hostile(mut self, spec: HostileSpec) -> Self {
+        self.hostile = Some(spec);
+        self
+    }
+
+    /// Add a scripted cluster partition: the clusters in `group` are cut
+    /// off from the rest between `at` and `until`.
+    pub fn with_partition(mut self, at: SimTime, until: SimTime, group: Vec<u16>) -> Self {
+        self.partitions.push(PartitionSpec { at, until, group });
+        self
+    }
+
+    /// Track per-tag deliveries in the side ledger of
+    /// [`run_hostile`](crate::run_hostile).
+    pub fn with_delivery_ledger(mut self) -> Self {
+        self.track_delivery = true;
         self
     }
 

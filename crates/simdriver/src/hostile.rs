@@ -1,0 +1,96 @@
+//! Side statistics of hostile-network runs.
+//!
+//! [`RunReport`](crate::RunReport) is the fingerprinted artifact of a run —
+//! its `Debug` dump *is* the determinism contract — so hostile-network
+//! observations live in this separate structure, returned only by
+//! [`run_hostile`](crate::run_hostile). A run with every hostile feature
+//! disabled produces byte-identical reports to one that never heard of
+//! this module.
+
+/// Per-tag delivery ledger: which workload sends were delivered, how many
+/// times, and in which incarnation (rollback epoch) of the receiving
+/// cluster.
+///
+/// Observation only — recording never feeds back into the run.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLedger {
+    /// `sent[tag]` = times the workload issued this tag (always 1).
+    sent: Vec<u32>,
+    /// `delivered[tag]` = total application deliveries of this tag,
+    /// replays included.
+    delivered: Vec<u32>,
+    /// Deliveries per `(tag, receiver-cluster incarnation)`, where the
+    /// incarnation index is the number of rollbacks the receiving cluster
+    /// had completed when the delivery happened.
+    per_incarnation: std::collections::BTreeMap<(u64, usize), u32>,
+}
+
+impl DeliveryLedger {
+    fn slot(v: &mut Vec<u32>, tag: u64) -> &mut u32 {
+        let i = tag as usize;
+        if v.len() <= i {
+            v.resize(i + 1, 0);
+        }
+        &mut v[i]
+    }
+
+    pub(crate) fn record_sent(&mut self, tag: u64) {
+        *Self::slot(&mut self.sent, tag) += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self, tag: u64, incarnation: usize) {
+        *Self::slot(&mut self.delivered, tag) += 1;
+        *self.per_incarnation.entry((tag, incarnation)).or_default() += 1;
+    }
+
+    /// Tags that were sent but never delivered (committed work lost).
+    pub fn undelivered(&self) -> Vec<u64> {
+        self.sent
+            .iter()
+            .enumerate()
+            .filter(|&(tag, &s)| s > 0 && self.delivered.get(tag).copied().unwrap_or(0) == 0)
+            .map(|(tag, _)| tag as u64)
+            .collect()
+    }
+
+    /// `(tag, incarnation, count)` entries delivered more than once within
+    /// a single incarnation of the receiving cluster.
+    pub fn duplicated_in_incarnation(&self) -> Vec<(u64, usize, u32)> {
+        self.per_incarnation
+            .iter()
+            .filter(|&(_, &count)| count > 1)
+            .map(|(&(tag, inc), &count)| (tag, inc, count))
+            .collect()
+    }
+
+    /// Number of distinct tags sent.
+    pub fn sent_tags(&self) -> usize {
+        self.sent.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Number of distinct tags delivered at least once.
+    pub fn delivered_tags(&self) -> usize {
+        self.delivered.iter().filter(|&&d| d > 0).count()
+    }
+}
+
+/// What the hostile network did during a run, plus the optional delivery
+/// ledger. Everything here is derived state — the fingerprinted
+/// [`RunReport`](crate::RunReport) never references it.
+#[derive(Debug, Clone, Default)]
+pub struct HostileRunStats {
+    /// Scripted partitions that became active during the run.
+    pub partitions_activated: u64,
+    /// Partitions that healed during the run.
+    pub partitions_healed: u64,
+    /// Messages held at a partition cut.
+    pub messages_held: u64,
+    /// Duplicate message copies injected.
+    pub duplicates_injected: u64,
+    /// Messages released from FIFO order.
+    pub messages_reordered: u64,
+    /// The delivery ledger, present when
+    /// [`SimConfig::with_delivery_ledger`](crate::SimConfig::with_delivery_ledger)
+    /// was set.
+    pub ledger: Option<DeliveryLedger>,
+}

@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod hostile;
 pub mod report;
 pub mod run;
 pub mod world;
 
 pub use config::{FaultEvent, SimConfig};
+pub use hostile::{DeliveryLedger, HostileRunStats};
 pub use report::{ClusterStats, RunReport};
-pub use run::{run, run_traced};
+pub use run::{run, run_hostile, run_traced};
 pub use world::{Ev, FederationWorld};

@@ -1,6 +1,7 @@
 //! The run entry point.
 
 use crate::config::SimConfig;
+use crate::hostile::HostileRunStats;
 use crate::report::RunReport;
 use crate::world::{Ev, FederationWorld};
 use desim::{exponential, RngStreams, RunOutcome, SimDuration, SimTime, Simulation};
@@ -21,6 +22,22 @@ pub fn run(cfg: SimConfig) -> RunReport {
 /// Like [`run`], but also returns the collected trace (records only at
 /// the level set by [`SimConfig::trace`]).
 pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
+    let (report, tracer, _) = run_inner(cfg);
+    (report, tracer)
+}
+
+/// Like [`run`], but also returns the hostile-network side statistics
+/// (partition/duplication/reorder counters and, with
+/// [`SimConfig::with_delivery_ledger`], the per-tag delivery ledger).
+///
+/// The [`RunReport`] is computed identically to [`run`]'s — hostile
+/// observations never touch the fingerprinted report.
+pub fn run_hostile(cfg: SimConfig) -> (RunReport, HostileRunStats) {
+    let (report, _, hostile) = run_inner(cfg);
+    (report, hostile)
+}
+
+fn run_inner(cfg: SimConfig) -> (RunReport, desim::Tracer, HostileRunStats) {
     let streams = RngStreams::new(cfg.seed);
     let horizon = cfg.horizon();
     let mut sim = Simulation::new(FederationWorld::new(cfg));
@@ -64,6 +81,19 @@ pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
     let gcs = sim.world().cfg.scripted_gcs.clone();
     for at in gcs {
         sim.schedule_at(at, Ev::GcNow);
+    }
+
+    // Scripted partition cuts and heals (bookkeeping events; the holds
+    // themselves are computed from the schedule at send time). Only ever
+    // scheduled when partitions exist, keeping the pristine event stream
+    // untouched.
+    let partitions = sim.world().cfg.partitions.clone();
+    let horizon_cap = horizon;
+    for (index, p) in partitions.into_iter().enumerate() {
+        sim.schedule_at(p.at, Ev::PartitionStart { index });
+        if p.until < horizon_cap {
+            sim.schedule_at(p.until, Ev::PartitionHeal { index });
+        }
     }
 
     // MTBF-driven faults.
@@ -119,8 +149,9 @@ pub fn run_traced(cfg: SimConfig) -> (RunReport, desim::Tracer) {
     let now = sim.now();
     let events = sim.events_processed();
     let report = sim.world_mut().finalize(now, events);
+    let hostile = sim.world_mut().finalize_hostile();
     let world = sim.into_world();
-    (report, world.tracer)
+    (report, world.tracer, hostile)
 }
 
 #[cfg(test)]

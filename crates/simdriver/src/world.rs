@@ -1,10 +1,11 @@
 //! The discrete-event world binding protocol engines to the network model.
 
 use crate::config::SimConfig;
+use crate::hostile::HostileRunStats;
 use crate::report::{ClusterStats, RunReport};
 use desim::{Ctx, EventKey, SimTime, TraceLevel, Tracer, World};
 use hc3i_core::{Input, Msg, NodeEngine, Output, OutputBuf};
-use netsim::{Network, NodeId};
+use netsim::{HostileNet, Network, NodeId};
 
 /// Events of the federation world.
 #[derive(Debug, Clone)]
@@ -56,6 +57,17 @@ pub enum Ev {
         /// Failed rank.
         failed_rank: u32,
     },
+    /// A scripted partition cut activates (bookkeeping/trace only: holds
+    /// are computed from the schedule at send time).
+    PartitionStart {
+        /// Index into [`SimConfig::partitions`].
+        index: usize,
+    },
+    /// A scripted partition heals.
+    PartitionHeal {
+        /// Index into [`SimConfig::partitions`].
+        index: usize,
+    },
     /// End of the simulated application.
     End,
 }
@@ -85,6 +97,12 @@ pub struct FederationWorld {
     pub(crate) tracer: Tracer,
     /// Reusable engine-output buffer threaded through `handle_engine`.
     out_buf: OutputBuf,
+    /// Hostile post-processor; `None` on the pristine path, whose event
+    /// stream must stay byte-identical to a world without this field.
+    hostile: Option<HostileNet>,
+    /// Side statistics of the hostile run (never part of the fingerprinted
+    /// [`RunReport`]).
+    pub(crate) hostile_stats: HostileRunStats,
 }
 
 impl FederationWorld {
@@ -113,6 +131,18 @@ impl FederationWorld {
             ..Default::default()
         };
         let tracer = Tracer::new(cfg.trace);
+        let hostile = if cfg.hostile.is_some() || !cfg.partitions.is_empty() {
+            Some(HostileNet::new(
+                cfg.hostile.clone().unwrap_or_default(),
+                cfg.partitions.clone(),
+            ))
+        } else {
+            None
+        };
+        let hostile_stats = HostileRunStats {
+            ledger: cfg.track_delivery.then(Default::default),
+            ..Default::default()
+        };
         FederationWorld {
             cfg,
             engines,
@@ -123,6 +153,8 @@ impl FederationWorld {
             stats,
             tracer,
             out_buf: OutputBuf::new(),
+            hostile,
+            hostile_stats,
         }
     }
 
@@ -162,11 +194,31 @@ impl FederationWorld {
     fn ship(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, to: NodeId, msg: Msg) {
         let bytes = msg.wire_bytes(&self.cfg.protocol);
         let class = msg.class();
-        let arrival = self.net.send(ctx.now(), source, to, bytes, class);
+        let mut arrival = self.net.send(ctx.now(), source, to, bytes, class);
+        // Hostile post-processing happens after the base network committed
+        // its timing and accounting: skew/hold/reorder shift only the
+        // delivery event, and a duplicate copy is a ghost the network
+        // never charges for.
+        let mut duplicate_at = None;
+        if let Some(h) = self.hostile.as_mut() {
+            let outcome = h.post(ctx.now(), source, to, arrival);
+            arrival = outcome.arrival;
+            duplicate_at = outcome.duplicate;
+        }
         if self.tracer.enabled(TraceLevel::Full) {
             self.tracer.full(ctx.now(), "net", || {
                 format!("{source} -> {to}: {msg:?} ({bytes} B, arrives {arrival})")
             });
+        }
+        if let Some(at) = duplicate_at {
+            ctx.schedule_at(
+                at,
+                Ev::Deliver {
+                    from: source,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
         }
         ctx.schedule_at(
             arrival,
@@ -202,6 +254,15 @@ impl FederationWorld {
                 }
                 Output::DeliverApp { from, payload } => {
                     self.stats.app_delivered += 1;
+                    if from.cluster != source.cluster {
+                        // Ledger incarnation = rollbacks the receiving
+                        // cluster completed before this delivery.
+                        let incarnation =
+                            self.stats.clusters[source.cluster.index()].rollbacks.len();
+                        if let Some(ledger) = self.hostile_stats.ledger.as_mut() {
+                            ledger.record_delivered(payload.tag, incarnation);
+                        }
+                    }
                     if self.tracer.enabled(TraceLevel::Full) {
                         self.tracer.full(ctx.now(), "app", || {
                             format!("{source} delivered tag {} from {from}", payload.tag)
@@ -327,6 +388,17 @@ impl FederationWorld {
         self.stats.ended_at = now;
         self.stats.clone()
     }
+
+    /// Fold the hostile post-processor's counters into the side statistics
+    /// and return them (empty/default for a pristine run).
+    pub(crate) fn finalize_hostile(&mut self) -> HostileRunStats {
+        if let Some(h) = self.hostile.as_ref() {
+            self.hostile_stats.messages_held = h.held;
+            self.hostile_stats.duplicates_injected = h.duplicates;
+            self.hostile_stats.messages_reordered = h.reordered;
+        }
+        self.hostile_stats.clone()
+    }
 }
 
 impl World for FederationWorld {
@@ -341,6 +413,19 @@ impl World for FederationWorld {
                 tag,
             } => {
                 self.stats.app_sent += 1;
+                if self.hostile_stats.ledger.is_some() {
+                    // Only inter-cluster sends from a live node enter the
+                    // ledger: their eventual delivery is the protocol's
+                    // sender-logging guarantee (§3.3). Intra-cluster
+                    // traffic is covered by the coordinated checkpoint,
+                    // and a failed node's application is down.
+                    let live = !self.engine(from).is_failed();
+                    if let Some(ledger) = self.hostile_stats.ledger.as_mut() {
+                        if live && from.cluster != to.cluster {
+                            ledger.record_sent(tag);
+                        }
+                    }
+                }
                 self.handle_engine(
                     ctx,
                     from,
@@ -440,6 +525,22 @@ impl World for FederationWorld {
                     NodeId::new(cluster as u16, rank),
                     Input::DetectFaults { failed_ranks },
                 );
+            }
+            Ev::PartitionStart { index } => {
+                self.hostile_stats.partitions_activated += 1;
+                if self.tracer.enabled(TraceLevel::Protocol) {
+                    let group = self.cfg.partitions[index].group.clone();
+                    self.tracer.protocol(ctx.now(), "partition", || {
+                        format!("cut {index} active: clusters {group:?} severed")
+                    });
+                }
+            }
+            Ev::PartitionHeal { index } => {
+                self.hostile_stats.partitions_healed += 1;
+                if self.tracer.enabled(TraceLevel::Protocol) {
+                    self.tracer
+                        .protocol(ctx.now(), "partition", || format!("cut {index} healed"));
+                }
             }
             Ev::End => ctx.stop(),
         }

@@ -11,8 +11,11 @@
 //!   cluster pair and spreads them uniformly over the run. This is what
 //!   regenerates Table 1's exact message counts and Figure 9's
 //!   "messages from cluster 1 to cluster 0" sweep.
+//! * [`BurstyWorkload`] — heavy-tailed (Pareto) inter-send gaps plus
+//!   scripted flash crowds, for stressing dense-timestamp regimes the
+//!   paper's smooth models never produce.
 
-use desim::{exponential, RngStreams, SimDuration, SimTime};
+use desim::{exponential, pareto, RngStreams, SimDuration, SimTime};
 use netsim::NodeId;
 use rand::Rng;
 
@@ -212,6 +215,113 @@ impl Workload for TargetCountWorkload {
     }
 }
 
+/// Heavy-tailed, bursty traffic: per-node inter-send gaps are Pareto
+/// distributed (dense bursts separated by long silences), optionally
+/// punctuated by *flash crowds* — windows in which every node fires
+/// additional sends almost simultaneously.
+///
+/// This stresses dense-timestamp regimes: many sends inside one network
+/// round trip, checkpoint rounds racing application traffic, and forced-CLC
+/// storms when a crowd crosses clusters.
+#[derive(Debug, Clone)]
+pub struct BurstyWorkload {
+    /// Nodes per cluster.
+    pub cluster_sizes: Vec<u32>,
+    /// Total application duration.
+    pub duration: SimDuration,
+    /// Minimum inter-send gap in seconds (the Pareto scale).
+    pub gap_scale_secs: f64,
+    /// Pareto tail exponent; `1 < alpha <= 2` gives the heavy tail.
+    pub gap_alpha: f64,
+    /// `pattern[i][j]` = probability that a send from cluster `i` targets
+    /// cluster `j`. Rows must sum to ~1.
+    pub pattern: Vec<Vec<f64>>,
+    /// Payload size of every message.
+    pub payload_bytes: u64,
+    /// Flash-crowd windows `(start, width)`: every node issues
+    /// [`flash_fanout`](Self::flash_fanout) extra sends at uniform times
+    /// inside each window.
+    pub flash_crowds: Vec<(SimTime, SimDuration)>,
+    /// Extra sends per node per flash crowd.
+    pub flash_fanout: u32,
+}
+
+impl BurstyWorkload {
+    fn pick_dest_cluster(&self, rng: &mut impl Rng, from_cluster: usize) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut dest = self.pattern[from_cluster].len() - 1;
+        for (j, &p) in self.pattern[from_cluster].iter().enumerate() {
+            acc += p;
+            if u < acc {
+                dest = j;
+                break;
+            }
+        }
+        dest
+    }
+}
+
+impl Workload for BurstyWorkload {
+    fn schedule(&self, streams: &RngStreams) -> Vec<SendEvent> {
+        assert!(self.gap_scale_secs > 0.0, "gap scale must be positive");
+        assert!(self.gap_alpha > 0.0, "tail exponent must be positive");
+        let mut events = Vec::new();
+        let horizon = SimTime::ZERO + self.duration;
+        for (c, &size) in self.cluster_sizes.iter().enumerate() {
+            for rank in 0..size {
+                let from = NodeId::new(c as u16, rank);
+                let mut rng = streams.stream("workload.bursty", (c as u64) << 32 | rank as u64);
+                // Background heavy-tailed stream.
+                let mut t = SimTime::ZERO;
+                loop {
+                    let gap = pareto(&mut rng, self.gap_scale_secs, self.gap_alpha);
+                    t = t.saturating_add(SimDuration::from_secs_f64(gap));
+                    if t >= horizon {
+                        break;
+                    }
+                    let dest = self.pick_dest_cluster(&mut rng, c);
+                    if let Some(to) = pick_node_in(&mut rng, dest, self.cluster_sizes[dest], from) {
+                        events.push(SendEvent {
+                            at: t,
+                            from,
+                            to,
+                            bytes: self.payload_bytes,
+                        });
+                    }
+                }
+                // Flash crowds: every node joins every window.
+                for &(start, width) in &self.flash_crowds {
+                    for _ in 0..self.flash_fanout {
+                        let offset = SimDuration::from_nanos(if width.nanos() == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..width.nanos())
+                        });
+                        let at = start.saturating_add(offset);
+                        if at >= horizon {
+                            continue;
+                        }
+                        let dest = self.pick_dest_cluster(&mut rng, c);
+                        if let Some(to) =
+                            pick_node_in(&mut rng, dest, self.cluster_sizes[dest], from)
+                        {
+                            events.push(SendEvent {
+                                at,
+                                from,
+                                to,
+                                bytes: self.payload_bytes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        sort_schedule(&mut events);
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +448,75 @@ mod tests {
         let mut w3 = stochastic();
         w3.compute_mean_secs.pop();
         assert!(w3.validate().is_err());
+    }
+
+    fn bursty() -> BurstyWorkload {
+        BurstyWorkload {
+            cluster_sizes: vec![6, 6],
+            duration: SimDuration::from_minutes(30),
+            gap_scale_secs: 5.0,
+            gap_alpha: 1.5,
+            pattern: vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+            payload_bytes: 512,
+            flash_crowds: vec![(
+                SimTime::ZERO + SimDuration::from_minutes(10),
+                SimDuration::from_millis(50),
+            )],
+            flash_fanout: 4,
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic_and_sorted() {
+        let w = bursty();
+        let a = w.schedule(&streams());
+        let b = w.schedule(&streams());
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().all(|e| e.from != e.to));
+    }
+
+    #[test]
+    fn bursty_flash_crowd_is_dense() {
+        let w = bursty();
+        let schedule = w.schedule(&streams());
+        let start = SimTime::ZERO + SimDuration::from_minutes(10);
+        let end = start + SimDuration::from_millis(50);
+        let in_window = schedule
+            .iter()
+            .filter(|e| e.at >= start && e.at < end)
+            .count();
+        // 12 nodes × 4 fanout land inside a 50 ms window (background sends
+        // rarely coincide): a dense-timestamp spike by construction.
+        assert!(
+            in_window >= 48,
+            "only {in_window} sends in the crowd window"
+        );
+    }
+
+    #[test]
+    fn bursty_tail_is_heavier_than_exponential() {
+        // With alpha = 1.5 and scale 5 s, gaps above 10× the scale must
+        // appear (P[gap > 50 s] ≈ 3%) — the silences between bursts.
+        let w = BurstyWorkload {
+            flash_crowds: vec![],
+            duration: SimDuration::from_hours(4),
+            ..bursty()
+        };
+        let schedule = w.schedule(&streams());
+        let mut long_gaps = 0usize;
+        for rank in 0..6u32 {
+            let node: Vec<_> = schedule
+                .iter()
+                .filter(|e| e.from == NodeId::new(0, rank))
+                .collect();
+            for pair in node.windows(2) {
+                if pair[1].at - pair[0].at > SimDuration::from_secs(50) {
+                    long_gaps += 1;
+                }
+            }
+        }
+        assert!(long_gaps > 0, "heavy tail should produce long silences");
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod presets;
 
 pub use duration::{parse_bandwidth, parse_duration};
 pub use files::{parse_application, parse_timers, parse_topology, ParseError, TimerSpec};
-pub use generate::{SendEvent, StochasticWorkload, TargetCountWorkload, Workload};
+pub use generate::{BurstyWorkload, SendEvent, StochasticWorkload, TargetCountWorkload, Workload};
