@@ -16,11 +16,19 @@
 //! * `--compare OLD.json` embeds the old wall times and per-entry speedups
 //!   into the new artifacts (before/after for a perf PR).
 //! * `--fail-on-regression FRAC` (requires `--compare`) exits non-zero if
-//!   any *gated* entry — `runtime_throughput`, `channel_throughput`, or the
-//!   `event_loop_*` pair — regresses by more than `FRAC` (e.g. `0.20` =
-//!   20%) against the compare file. Gated entries are judged on events/s
-//!   (comparable between `--quick` and full runs, whose workload sizes
-//!   differ), falling back to wall time when either side lacks a rate.
+//!   any *gated* entry (see [`gated`]) regresses by more than `FRAC`
+//!   (e.g. `0.20` = 20%) against the compare file. Gated entries are
+//!   judged on events/s (comparable between `--quick` and full runs,
+//!   whose workload sizes differ), falling back to wall time when either
+//!   side lacks a rate. When both artifacts carry the `calibration`
+//!   entry — a fixed integer-mix + dependent-load chase that measures the
+//!   *host*, not the repo — rates are first divided by the same run's
+//!   calibration rate, cancelling the machine-speed gap between the
+//!   recording host and the judging host, and the gate tightens to
+//!   [`NORMALIZED_GATE`]: with the cross-machine gap gone, most of what
+//!   survives normalization is per-event code regression. The
+//!   seconds-long single-rep `scaling_mega` is recorded but not
+//!   rate-gated (see [`gated`]); its gate is CI's wall-clock ceiling.
 //! * `--fingerprint PATH` additionally dumps the full `RunReport` debug
 //!   output of several seeded runs — byte-identical across code changes
 //!   that preserve the determinism contract (same seed ⇒ bit-identical
@@ -191,6 +199,38 @@ fn runtime_wave(msgs: u64) -> u64 {
     msgs
 }
 
+/// Same-run machine-speed calibration: a fixed workload whose cost
+/// depends only on the host, never on repo code. Every artifact records
+/// it alongside the real entries, so the regression gate can compare
+/// *normalized* rates (entry events/s divided by same-run calibration
+/// iterations/s) between two artifacts recorded on different machines or
+/// under different background load. "Events" is iterations.
+///
+/// Each iteration mixes an integer-ALU step with a data-dependent read
+/// from a 16 MiB table. The memory half matters: on a shared host the
+/// dominant interference is cache/memory contention, which a pure
+/// register spin is blind to (observed here: spin rate steady within 1%
+/// while the simulator entries ran 15–40% slower), so a calibration
+/// without it cannot normalize away exactly the noise it exists to
+/// cancel. The chase is serialized through the running hash, putting the
+/// load latency on the critical path like the simulator's own
+/// pointer-heavy event dispatch.
+fn calibration_spin(iters: u64) -> u64 {
+    const TABLE_WORDS: usize = (16 << 20) / 8;
+    let mut table = vec![0u64; TABLE_WORDS];
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for (i, w) in table.iter_mut().enumerate() {
+        x = x.wrapping_mul(0xd1342543de82ef95).rotate_left(23) ^ i as u64;
+        *w = x;
+    }
+    for i in 0..iters {
+        x = x.wrapping_mul(0xd1342543de82ef95).rotate_left(23) ^ i;
+        x ^= table[(x >> 17) as usize & (TABLE_WORDS - 1)];
+    }
+    std::hint::black_box(x);
+    iters
+}
+
 /// GC-round micro: per-cluster CLC stores with `clcs` stamped checkpoints
 /// each; every round collects each store's `(SN, DDV)` list (`Arc`-shared
 /// — the zero-clone path this entry gates), wraps the lists in
@@ -284,6 +324,20 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
     let gated_reps = reps.max(3);
     let mut entries = Vec::new();
 
+    // First so it doubles as a warm-up. Best-of-9: everything normalized
+    // against this entry inherits its noise, and what the gate needs from
+    // it is the host's quiet-floor rate — stable across runs on one
+    // machine, different across machines — not a sample of this run's
+    // ambient load (per-entry best-of-N already absorbs load spikes).
+    let calib_iters = 1_000_000u64;
+    eprintln!("timing calibration ({calib_iters} mix+chase iterations)…");
+    entries.push(entry(
+        "calibration",
+        "machine-speed spin + 16 MiB dependent-load chase (host-only cost; normalizes the gated rates)",
+        gated_reps.max(9),
+        || calibration_spin(calib_iters),
+    ));
+
     eprintln!("timing event_loop_reference…");
     entries.push(entry(
         "event_loop_reference",
@@ -315,8 +369,10 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
         "Figure 6/7 regeneration (timer sweep)",
         1,
         || {
-            experiments::figure6_7(fig6_axis, seed);
-            0
+            experiments::figure6_7(fig6_axis, seed)
+                .iter()
+                .map(|r| r.events)
+                .sum()
         },
     ));
 
@@ -397,8 +453,25 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
             "scaling_100_clusters"
         },
         "wide-federation ring (4-node clusters) to completion",
-        1,
+        gated_reps,
         || simdriver::run(ring_config(wide.0, 4, wide.1, seed)).events_processed,
+    ));
+
+    // Order-of-magnitude scale: 1024 clusters of 100 nodes = 102,400
+    // engines through the calendar executive to completion. Same size in
+    // both modes (it is the artifact CI's runtime-scale job asserts on),
+    // single rep: at seconds of wall per run the relative timer noise is
+    // already far below the gate threshold.
+    let (mega_clusters, mega_nodes) = (1024usize, 100u32);
+    eprintln!(
+        "timing scaling_mega ({mega_clusters}x{mega_nodes} = {} nodes)…",
+        mega_clusters as u32 * mega_nodes
+    );
+    entries.push(entry(
+        "scaling_mega",
+        "mega-federation ring (1024 clusters x 100 nodes) to completion",
+        1,
+        || simdriver::run(ring_config(mega_clusters, mega_nodes, 1, seed)).events_processed,
     ));
 
     entries
@@ -493,6 +566,15 @@ fn markdown(entries: &[Entry], quick: bool, seed: u64, old: Option<&[OldEntry]>)
                     e.events_per_sec
                 );
             }
+            // In compare mode an entry absent from the old recording (a
+            // newly added bench) still has to fill all seven columns.
+            None if old.is_some() => {
+                let _ = writeln!(
+                    s,
+                    "| `{}` | {} | — | {:.1} | new | {} | {:.0} |",
+                    e.name, e.what, e.wall_ms, e.events, e.events_per_sec
+                );
+            }
             None => {
                 let _ = writeln!(
                     s,
@@ -553,42 +635,87 @@ fn parse_old(json: &str) -> Vec<OldEntry> {
 // ---- regression gate -------------------------------------------------------
 
 /// Entries the CI regression gate protects: the sharded-runtime and channel
-/// hot paths, the simulator event loop, and the checkpoint/GC data-plane
-/// micros (zero-clone GC stamp lists + copy-on-write CLC staging).
+/// hot paths, the simulator event loop, the figure-regeneration sweep, the
+/// checkpoint/GC data-plane micros (zero-clone GC stamp lists +
+/// copy-on-write CLC staging), and the calendar-queue scale sweep. Two
+/// entries are deliberately absent: `calibration` (it is the normalizer,
+/// not a measurement of repo code) and `scaling_mega` (a single rep
+/// lasting seconds samples so much ambient load that its rate swings >2x
+/// between identical runs on a busy host; its gate is the wall-clock
+/// completion ceiling in CI's runtime-scale job, which a complexity-class
+/// regression cannot hide from).
 fn gated(name: &str) -> bool {
     name.starts_with("event_loop")
         || name == "runtime_throughput"
         || name == "channel_throughput"
         || name == "gc_round"
         || name == "clc_commit"
+        || name == "figure_regen_figure6"
+        || name == "scaling_100_clusters"
 }
+
+/// Gate threshold for *normalized* comparisons (both artifacts carry a
+/// `calibration` entry): dividing each rate by the same-run calibration
+/// floor cancels the machine-speed gap between the recording host and
+/// the judging host, so the gate no longer needs headroom for "CI runner
+/// slower than reference VM" and can sit tighter than the raw-rate 20%.
+/// Not zero-headroom, though: the normalized ratio still carries the
+/// entries' own best-of-N timer jitter plus the calibration's residual
+/// run-to-run wobble (a few percent each).
+const NORMALIZED_GATE: f64 = 0.15;
 
 /// Compare gated entries against the old baselines; return the offenders as
 /// `(name, metric, regression)` where `regression` is the fractional
 /// slowdown (0.25 = 25% worse). Rates are preferred over wall times so
 /// `--quick` runs (smaller workloads, same per-event cost) gate cleanly
-/// against full-mode baseline files.
+/// against full-mode baseline files; rates are normalized by the same-run
+/// `calibration` rate whenever both sides recorded one (see
+/// [`NORMALIZED_GATE`]).
 fn regressions(entries: &[Entry], old: &[OldEntry], threshold: f64) -> Vec<(String, String, f64)> {
+    let cal_new = entries
+        .iter()
+        .find(|e| e.name == "calibration")
+        .map(|e| e.events_per_sec)
+        .filter(|r| *r > 0.0);
+    let cal_old = old
+        .iter()
+        .find(|o| o.name == "calibration")
+        .map(|o| o.events_per_sec)
+        .filter(|r| *r > 0.0);
     let mut out = Vec::new();
     for e in entries.iter().filter(|e| gated(e.name)) {
         let Some(o) = old.iter().find(|o| o.name == e.name) else {
             continue;
         };
-        let (slowdown, metric) = if e.events_per_sec > 0.0 && o.events_per_sec > 0.0 {
-            (
-                o.events_per_sec / e.events_per_sec - 1.0,
-                format!(
-                    "{:.0} -> {:.0} events/s",
-                    o.events_per_sec, e.events_per_sec
-                ),
-            )
+        let (slowdown, metric, limit) = if e.events_per_sec > 0.0 && o.events_per_sec > 0.0 {
+            if let (Some(cn), Some(co)) = (cal_new, cal_old) {
+                let (new_norm, old_norm) = (e.events_per_sec / cn, o.events_per_sec / co);
+                (
+                    old_norm / new_norm - 1.0,
+                    format!(
+                        "{:.0} -> {:.0} events/s ({:.4} -> {:.4} normalized)",
+                        o.events_per_sec, e.events_per_sec, old_norm, new_norm
+                    ),
+                    threshold.min(NORMALIZED_GATE),
+                )
+            } else {
+                (
+                    o.events_per_sec / e.events_per_sec - 1.0,
+                    format!(
+                        "{:.0} -> {:.0} events/s",
+                        o.events_per_sec, e.events_per_sec
+                    ),
+                    threshold,
+                )
+            }
         } else {
             (
                 e.wall_ms / o.wall_ms - 1.0,
                 format!("{:.1} -> {:.1} ms", o.wall_ms, e.wall_ms),
+                threshold,
             )
         };
-        if slowdown > threshold {
+        if slowdown > limit {
             out.push((e.name.to_string(), metric, slowdown));
         }
     }
@@ -690,8 +817,10 @@ fn main() {
         let offenders = regressions(&entries, old, threshold);
         if offenders.is_empty() {
             eprintln!(
-                "regression gate OK: no gated entry more than {:.0}% worse than the baseline",
-                threshold * 100.0
+                "regression gate OK: no gated entry more than {:.0}% worse than the baseline \
+                 ({:.0}% for calibration-normalized rates)",
+                threshold * 100.0,
+                (threshold.min(NORMALIZED_GATE)) * 100.0
             );
         } else {
             for (name, metric, slowdown) in &offenders {

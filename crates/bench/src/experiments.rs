@@ -67,6 +67,8 @@ pub struct Fig67Row {
     pub c1_unforced: u64,
     /// Forced CLCs committed in cluster 1.
     pub c1_forced: u64,
+    /// Simulator events dispatched by this point's run (bench-gate rate).
+    pub events: u64,
 }
 
 /// Figures 6 & 7: CLC counts in both clusters as cluster 0's timer sweeps;
@@ -89,6 +91,7 @@ pub fn figure6_7(delays_min: &[u64], seed: u64) -> Vec<Fig67Row> {
                 c0_forced: r.clusters[0].forced_clcs,
                 c1_unforced: r.clusters[1].unforced_clcs,
                 c1_forced: r.clusters[1].forced_clcs,
+                events: r.events_processed,
             }
         })
         .collect()

@@ -60,6 +60,23 @@ pub fn topologies() -> Vec<(&'static str, Topology)> {
                 LinkSpec::wan_like(),
             ),
         ),
+        // The paper's own per-cluster scale (100 nodes, §5): hostile runs
+        // where every CLC round fans a request/commit broadcast out to 100
+        // engines, exercising the same-instant delivery batching that the
+        // small presets cannot.
+        (
+            "paper_scale",
+            Topology::new(
+                vec![
+                    ClusterSpec {
+                        nodes: 100,
+                        intra: LinkSpec::myrinet_like(),
+                    };
+                    2
+                ],
+                LinkSpec::ethernet_like(),
+            ),
+        ),
     ]
 }
 

@@ -1,8 +1,7 @@
 //! Per-node checkpoint content.
 
 use crate::msg::AppPayload;
-use netsim::NodeId;
-use std::collections::HashMap;
+use netsim::{FastHashMap as HashMap, NodeId};
 use std::sync::Arc;
 use storage::SeqNum;
 
@@ -129,7 +128,7 @@ impl DeliveredRecord {
         }
         DeliveredRecord {
             base: self.base.clone(),
-            delta: HashMap::new(),
+            delta: HashMap::default(),
         }
     }
 
@@ -137,7 +136,8 @@ impl DeliveredRecord {
     /// lookup walk; sharing with already-stored checkpoints is unaffected —
     /// they keep their own chains).
     fn collapse(&mut self) {
-        let mut entries: HashMap<DeliveredKey, SeqNum> = HashMap::with_capacity(self.len());
+        let mut entries: HashMap<DeliveredKey, SeqNum> =
+            HashMap::with_capacity_and_hasher(self.len(), Default::default());
         let mut gen = self.base.as_deref();
         while let Some(g) = gen {
             for (k, sn) in &g.entries {
@@ -209,7 +209,7 @@ impl DeliveredRecord {
         if add.is_empty() {
             return DeliveredRecord {
                 base: self.base.clone(),
-                delta: HashMap::new(),
+                delta: HashMap::default(),
             };
         }
         let parent = self.base.clone();
@@ -221,7 +221,7 @@ impl DeliveredRecord {
                 parent,
                 entries: add,
             })),
-            delta: HashMap::new(),
+            delta: HashMap::default(),
         }
     }
 }

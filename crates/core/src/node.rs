@@ -21,7 +21,7 @@ use crate::gc;
 use crate::io::{Input, Output, OutputBuf};
 use crate::msg::{AppPayload, ClcReason, Msg, Piggyback};
 use desim::SimTime;
-use netsim::NodeId;
+use netsim::{FastHashMap, NodeId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use storage::{ClcMeta, ClcStore, Ddv, LogId, MessageLog, SeqNum};
@@ -89,7 +89,11 @@ struct GcState {
 /// The per-node protocol engine.
 #[derive(Debug)]
 pub struct NodeEngine {
-    cfg: ProtocolConfig,
+    /// Static federation configuration, `Arc`-shared by every engine of a
+    /// federation: engines read it, nobody writes it after construction,
+    /// and at 100k-node scale per-engine copies (each holding the whole
+    /// `cluster_sizes` vector) would dominate the arena's memory.
+    cfg: Arc<ProtocolConfig>,
     id: NodeId,
     /// Rank coordinating this cluster (fixed at 0; a failed coordinator is
     /// revived by the rollback that recovery performs).
@@ -109,6 +113,12 @@ pub struct NodeEngine {
     /// `(sender, log id) -> SN at delivery`. Checkpointed copy-on-write:
     /// staging a CLC seals the record's delta instead of cloning the map.
     delivered: DeliveredRecord,
+    /// Monotone upper bound on the log id ever delivered per sender.
+    /// Deliberately *not* part of the checkpoint: after a rollback the
+    /// bound can only be stale-high, which merely disables the fast
+    /// duplicate check (an id above the bound cannot have been delivered;
+    /// an id at or below it gets the full [`DeliveredRecord`] probe).
+    delivered_hwm: FastHashMap<NodeId, u64>,
     /// This node's checkpoint-fragment replica holders — a pure function
     /// of rank, cluster size and replication degree, so computed once and
     /// shared by reference with every per-commit fragment fan-out batch.
@@ -139,7 +149,19 @@ impl NodeEngine {
     /// Create the engine for node `id`. Every node starts with the initial
     /// CLC already committed ("each cluster stores a first CLC which is the
     /// beginning of the application", paper §4), so `SN = 1`.
-    pub fn new(cfg: ProtocolConfig, id: NodeId) -> Self {
+    pub fn new(cfg: impl Into<Arc<ProtocolConfig>>, id: NodeId) -> Self {
+        let cfg = cfg.into();
+        let initial_sn = SeqNum(1);
+        let mut ddv = Ddv::zeros(cfg.num_clusters());
+        ddv.set(id.cluster.index(), initial_sn);
+        Self::with_initial_ddv(cfg, id, Arc::new(ddv))
+    }
+
+    /// [`NodeEngine::new`] with the initial DDV supplied by the caller:
+    /// every node of a cluster starts from the *same* stamp (own entry at
+    /// the initial SN, zero elsewhere), so an arena constructor allocates
+    /// it once per cluster instead of once per node.
+    pub fn with_initial_ddv(cfg: Arc<ProtocolConfig>, id: NodeId, ddv: Arc<Ddv>) -> Self {
         let n = cfg.num_clusters();
         assert!(id.cluster.index() < n, "node's cluster out of range");
         assert!(
@@ -147,9 +169,17 @@ impl NodeEngine {
             "node rank out of range"
         );
         let initial_sn = SeqNum(1);
-        let mut ddv = Ddv::zeros(n);
-        ddv.set(id.cluster.index(), initial_sn);
-        let ddv = Arc::new(ddv);
+        debug_assert_eq!(ddv.len(), n, "initial DDV dimension mismatch");
+        debug_assert!(
+            ddv.iter().enumerate().all(|(c, sn)| {
+                sn == if c == id.cluster.index() {
+                    initial_sn
+                } else {
+                    SeqNum::ZERO
+                }
+            }),
+            "initial DDV must be the cluster's first-CLC stamp"
+        );
         let frag_holders: Arc<[u32]> = cfg
             .replication
             .replica_holders(id.rank, cfg.nodes_in(id.cluster.index()))
@@ -174,6 +204,7 @@ impl NodeEngine {
             store,
             log: MessageLog::new(),
             delivered: DeliveredRecord::new(),
+            delivered_hwm: FastHashMap::default(),
             frag_holders,
             pending_inter: vec![],
             frozen: None,
@@ -597,8 +628,15 @@ impl NodeEngine {
         out: &mut OutputBuf,
     ) {
         // Duplicate (an original raced a replay): re-acknowledge with the
-        // SN recorded at first delivery.
-        if let Some(ack_sn) = self.delivered.get(&(from, log_id.0)) {
+        // SN recorded at first delivery. An id above the per-sender
+        // high-water mark was never delivered, so the common new-message
+        // case skips the generation-chain probe entirely.
+        let dup_sn = if log_id.0 > self.delivered_hwm.get(&from).copied().unwrap_or(0) {
+            None
+        } else {
+            self.delivered.get(&(from, log_id.0))
+        };
+        if let Some(ack_sn) = dup_sn {
             out.push(Output::Send {
                 to: from,
                 msg: Msg::InterAck {
@@ -650,6 +688,8 @@ impl NodeEngine {
     ) {
         self.dirty = true;
         self.delivered.insert((from, log_id.0), self.sn);
+        let hwm = self.delivered_hwm.entry(from).or_insert(0);
+        *hwm = (*hwm).max(log_id.0);
         out.push(Output::DeliverApp { from, payload });
         out.push(Output::Send {
             to: from,

@@ -1,28 +1,56 @@
 //! The simulation executive.
 //!
 //! A `Simulation` owns the clock, the pending-event set and a user-supplied
-//! *world* (the model). The world handles one event at a time and schedules
-//! follow-up events through the [`Ctx`] handle it receives. The design is
-//! the event-scheduling flavour of discrete-event simulation — the same
-//! world view C++SIM's process threads expose, but deterministic and with no
+//! *world* (the model). The world handles events and schedules follow-up
+//! events through the [`Ctx`] handle it receives. The design is the
+//! event-scheduling flavour of discrete-event simulation — the same world
+//! view C++SIM's process threads expose, but deterministic and with no
 //! thread-scheduling nondeterminism.
+//!
+//! Dispatch is **instant-batched**: when the executive reaches a simulated
+//! instant it drains *every* event firing at that instant through one
+//! [`World::handle_batch`] call, instead of re-entering the executive once
+//! per event. The default `handle_batch` simply loops [`World::handle`], so
+//! worlds keep their one-event-at-a-time shape; worlds with per-entry setup
+//! cost (sink swaps, stats flushes) override it to hoist that cost to
+//! per-instant. Order within the batch is the global `(time, seq)` dispatch
+//! order — events a handler schedules *at the same instant* get larger
+//! `seq`s and join the tail of the same batch, exactly as the one-per-step
+//! executive would have dispatched them, so runs are bit-identical.
 
 use crate::queue::{EventKey, EventQueue};
 use crate::time::SimTime;
 
-/// The model being simulated: a state machine fed one event at a time.
+/// The model being simulated: a state machine fed events by the executive.
 pub trait World {
     /// The world's event alphabet.
     type Event;
 
     /// Handle `event` occurring at `ctx.now()`. Schedule follow-ups via `ctx`.
     fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+
+    /// Handle one simulated instant's whole batch of events. Pull events
+    /// with [`InstantBatch::next`] until it returns `None`; the batch ends
+    /// when the instant has no further events, the executive's event budget
+    /// for this instant is spent, or the world called [`Ctx::stop`].
+    ///
+    /// The default implementation dispatches each event through
+    /// [`World::handle`]; override it to amortise per-event overhead
+    /// (e.g. output-sink swaps) across the instant. Implementations must
+    /// drive the batch through `next` — events left unpulled simply remain
+    /// pending, which after a stop is exactly right.
+    fn handle_batch(&mut self, ctx: &mut Ctx<'_, Self::Event>, batch: &mut InstantBatch) {
+        while let Some(event) = batch.next(ctx) {
+            self.handle(ctx, event);
+        }
+    }
 }
 
 /// Scheduling handle passed to [`World::handle`].
 pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
+    feed: &'a mut std::collections::VecDeque<(SimTime, E)>,
     stop_requested: &'a mut bool,
 }
 
@@ -61,9 +89,59 @@ impl<'a, E> Ctx<'a, E> {
         *self.stop_requested = true;
     }
 
+    /// True once [`Ctx::stop`] has been called.
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        *self.stop_requested
+    }
+
     /// Number of pending events (diagnostics).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+}
+
+/// One simulated instant's worth of events, pulled lazily from the
+/// executive by [`World::handle_batch`].
+///
+/// `next` yields the instant's events in global `(time, seq)` dispatch
+/// order: external feed events first (the feed wins ties, as with the
+/// one-per-step executive), then queued events — including any the world
+/// schedules *at this instant* while the batch is being drained. Events are
+/// only removed from the pending set as they are yielded, so a mid-batch
+/// [`Ctx::cancel`] of a not-yet-yielded event works exactly as it did
+/// pre-batching, and a mid-batch stop leaves the rest pending.
+pub struct InstantBatch {
+    at: SimTime,
+    budget: u64,
+    taken: u64,
+}
+
+impl InstantBatch {
+    /// The instant this batch fires at.
+    #[inline]
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Events yielded so far.
+    #[inline]
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Pull the next event of this instant, or `None` when the instant is
+    /// drained, the budget is spent, or a stop was requested.
+    pub fn next<E>(&mut self, ctx: &mut Ctx<'_, E>) -> Option<E> {
+        if self.taken >= self.budget || *ctx.stop_requested {
+            return None;
+        }
+        let event = match ctx.feed.front() {
+            Some(&(ft, _)) if ft == self.at => ctx.feed.pop_front().expect("peeked").1,
+            _ => ctx.queue.pop_if_at(self.at)?,
+        };
+        self.taken += 1;
+        Some(event)
     }
 }
 
@@ -85,8 +163,8 @@ pub struct Simulation<W: World> {
     world: W,
     queue: EventQueue<W::Event>,
     /// Pre-sorted external workload, merged lazily into the dispatch order
-    /// (see [`Simulation::feed_sorted`]). Kept outside the heap so a bulk
-    /// workload does not inflate every heap operation for the whole run.
+    /// (see [`Simulation::feed_sorted`]). Kept outside the calendar so a
+    /// bulk workload does not inflate the in-flight set for the whole run.
     feed: std::collections::VecDeque<(SimTime, W::Event)>,
     now: SimTime,
     stop_requested: bool,
@@ -140,13 +218,13 @@ impl<W: World> Simulation<W> {
     /// Install a bulk external workload: `events` must be sorted by time
     /// (ties fire in vector order) and is merged lazily into the dispatch
     /// order. At equal timestamps a fed event fires **before** anything in
-    /// the pending-event heap — exactly the order that scheduling the whole
+    /// the pending-event set — exactly the order that scheduling the whole
     /// workload up-front (before any other initial event) used to produce,
     /// so runs are bit-identical to the eager schedule.
     ///
     /// The point is cost, not semantics: a 15k-send workload used to sit in
-    /// the heap for the entire run, deepening every push/pop by ~`log₂ 15k`
-    /// levels; as a sorted side feed, the heap holds only in-flight events.
+    /// the pending set for the entire run, taxing every queue operation;
+    /// as a sorted side feed, the queue holds only in-flight events.
     ///
     /// # Panics
     /// If a feed is already installed, or `events` is unsorted or starts in
@@ -172,31 +250,34 @@ impl<W: World> Simulation<W> {
         }
     }
 
-    /// Dispatch a single event. Returns `false` if none is pending.
-    pub fn step(&mut self) -> bool {
-        let take_feed = match (self.feed.front(), self.queue.peek_time()) {
-            (Some(&(ft, _)), Some(qt)) => ft <= qt,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        let (at, event) = if take_feed {
-            self.feed.pop_front().expect("checked above")
-        } else {
-            match self.queue.pop() {
-                Some(e) => e,
-                None => return false,
-            }
+    /// Advance to the next pending instant and dispatch up to `max_events`
+    /// of its events through one [`World::handle_batch`] call. Returns the
+    /// number of events dispatched (0 when nothing is pending).
+    pub fn step_instant(&mut self, max_events: u64) -> u64 {
+        let Some(at) = self.next_time() else {
+            return 0;
         };
         debug_assert!(at >= self.now, "event queue returned a past event");
         self.now = at;
-        self.events_processed += 1;
         let mut ctx = Ctx {
-            now: self.now,
+            now: at,
             queue: &mut self.queue,
+            feed: &mut self.feed,
             stop_requested: &mut self.stop_requested,
         };
-        self.world.handle(&mut ctx, event);
-        true
+        let mut batch = InstantBatch {
+            at,
+            budget: max_events,
+            taken: 0,
+        };
+        self.world.handle_batch(&mut ctx, &mut batch);
+        self.events_processed += batch.taken;
+        batch.taken
+    }
+
+    /// Dispatch a single event. Returns `false` if none is pending.
+    pub fn step(&mut self) -> bool {
+        self.step_instant(1) > 0
     }
 
     /// Run until the event set drains or the world calls [`Ctx::stop`].
@@ -211,10 +292,11 @@ impl<W: World> Simulation<W> {
             if remaining == 0 {
                 return RunOutcome::BudgetExhausted;
             }
-            if !self.step() {
+            let taken = self.step_instant(remaining);
+            if taken == 0 {
                 return RunOutcome::Exhausted;
             }
-            remaining -= 1;
+            remaining -= taken;
         }
         RunOutcome::Stopped
     }
@@ -228,7 +310,7 @@ impl<W: World> Simulation<W> {
                 None => return RunOutcome::Exhausted,
                 Some(t) if t > horizon => return RunOutcome::HorizonReached,
                 Some(_) => {
-                    self.step();
+                    self.step_instant(u64::MAX);
                 }
             }
         }
@@ -323,6 +405,138 @@ mod tests {
     }
 
     #[test]
+    fn budget_splits_an_instant_batch() {
+        // 10 events at the same instant, budget 4: the batch is cut mid-
+        // instant and the remaining 6 events stay pending for a later run.
+        struct Tally {
+            seen: Vec<u32>,
+        }
+        impl World for Tally {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+                self.seen.push(ev);
+            }
+        }
+        let mut sim = Simulation::new(Tally { seen: vec![] });
+        for i in 0..10 {
+            sim.schedule_at(SimTime::ZERO + SimDuration::from_secs(1), i);
+        }
+        assert_eq!(sim.run_with_budget(4), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.events_processed(), 4);
+        assert_eq!(sim.world().seen, vec![0, 1, 2, 3]);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stop_mid_batch_leaves_rest_pending() {
+        // An instant with 5 events where the second handler stops: the
+        // remaining 3 were never popped and stay pending.
+        struct Stopper {
+            handled: u32,
+        }
+        impl World for Stopper {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.handled += 1;
+                if ev == 1 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut sim = Simulation::new(Stopper { handled: 0 });
+        for i in 0..5 {
+            sim.schedule_at(SimTime::ZERO, i);
+        }
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.world().handled, 2);
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn cancel_within_batch_skips_later_event() {
+        // Handler of the first event cancels the third (same instant):
+        // the third must not fire, exactly as with one-per-step dispatch.
+        struct Canceller {
+            key: Option<EventKey>,
+            fired: Vec<u32>,
+        }
+        impl World for Canceller {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+                if ev == 0 {
+                    assert!(ctx.cancel(self.key.take().expect("key set")));
+                }
+            }
+        }
+        let mut sim = Simulation::new(Canceller {
+            key: None,
+            fired: vec![],
+        });
+        sim.schedule_at(SimTime::ZERO, 0);
+        sim.schedule_at(SimTime::ZERO, 1);
+        let k = sim.schedule_at(SimTime::ZERO, 2);
+        sim.world_mut().key = Some(k);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired, vec![0, 1]);
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn same_instant_schedules_join_the_batch_tail() {
+        // A handler scheduling at the current instant: the new event fires
+        // within the same batch, after everything already pending there.
+        struct Chain {
+            fired: Vec<u32>,
+        }
+        impl World for Chain {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+                if ev == 0 {
+                    ctx.schedule_at(ctx.now(), 99);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chain { fired: vec![] });
+        sim.schedule_at(SimTime::ZERO, 0);
+        sim.schedule_at(SimTime::ZERO, 1);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired, vec![0, 1, 99], "99 after pending 1");
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn batched_world_sees_whole_instant() {
+        // An overriding world observes batch boundaries: one handle_batch
+        // call per instant, covering every event at that instant.
+        struct Batches {
+            sizes: Vec<u64>,
+        }
+        impl World for Batches {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+            fn handle_batch(&mut self, ctx: &mut Ctx<'_, u32>, batch: &mut InstantBatch) {
+                while let Some(ev) = batch.next(ctx) {
+                    self.handle(ctx, ev);
+                }
+                self.sizes.push(batch.taken());
+            }
+        }
+        let mut sim = Simulation::new(Batches { sizes: vec![] });
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        let t2 = SimTime::ZERO + SimDuration::from_secs(2);
+        for i in 0..3 {
+            sim.schedule_at(t1, i);
+        }
+        sim.schedule_at(t2, 3);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().sizes, vec![3, 1]);
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics() {
         struct Bad;
@@ -347,5 +561,72 @@ mod tests {
             sim.into_world().log
         };
         assert_eq!(run(50), run(50));
+    }
+
+    #[test]
+    fn feed_ties_fire_before_queue_events_within_a_batch() {
+        // Feed events at t and queued events at t share one batch; the
+        // feed's must come first (the pre-batching tie rule).
+        struct Order {
+            fired: Vec<u32>,
+        }
+        impl World for Order {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+            }
+        }
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        let mut sim = Simulation::new(Order { fired: vec![] });
+        sim.schedule_at(t1, 10);
+        sim.schedule_at(t1, 11);
+        sim.feed_sorted(vec![(t1, 0), (t1, 1)]);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired, vec![0, 1, 10, 11]);
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn feed_interleaves_at_bucket_boundaries() {
+        // Feed and queue events alternating across calendar bucket
+        // boundaries (and colliding exactly on them) dispatch in global
+        // (time, seq) order with feed winning ties.
+        struct Log {
+            fired: Vec<(u64, u32)>,
+        }
+        impl World for Log {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push((ctx.now().nanos(), ev));
+            }
+        }
+        let mut sim = Simulation::new(Log { fired: vec![] });
+        // The fresh queue's bucket width is 2^16 ns; place events on and
+        // around multiples of it, far beyond one revolution, and at ties.
+        let w = 1u64 << 16;
+        let mut expect = Vec::new();
+        let mut feed = Vec::new();
+        for i in 0..200u64 {
+            let at = SimTime(i * w / 2 + (i % 3));
+            if i % 2 == 0 {
+                sim.schedule_at(at, i as u32);
+            } else {
+                feed.push((at, i as u32));
+            }
+            expect.push((at.nanos(), i as u32));
+        }
+        // Far-future (overflow-resident) events, plus ties against feed.
+        for i in 0..8u64 {
+            let at = SimTime(w * 4096 * (i + 1));
+            sim.schedule_at(at, 1_000 + i as u32);
+            feed.push((at, 2_000 + i as u32));
+            // Feed wins the tie despite the queue push happening first.
+            expect.push((at.nanos(), 2_000 + i as u32));
+            expect.push((at.nanos(), 1_000 + i as u32));
+        }
+        sim.feed_sorted(feed);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        expect.sort_by_key(|&(at, ev)| (at, (1_000..2_000).contains(&ev) as u32, ev));
+        assert_eq!(sim.world().fired, expect);
     }
 }

@@ -4,9 +4,11 @@
 //! for its evaluation (§5.1). It provides:
 //!
 //! * a simulated clock and cancellable future-event list ([`EventQueue`]) —
-//!   a `(time, seq)` min-heap over a generation-stamped slab, giving O(1)
-//!   hash-free cancellation and allocation-free steady-state scheduling,
-//! * an event-scheduling executive ([`Simulation`] / [`World`]),
+//!   a `(time, seq)`-ordered calendar queue (timing wheel with a far-future
+//!   overflow heap) over a generation-stamped slab, giving O(1) scheduling,
+//!   O(1) hash-free cancellation and allocation-free steady-state cycles,
+//! * an instant-batching event-scheduling executive ([`Simulation`] /
+//!   [`World`] / [`InstantBatch`]),
 //! * named, independent, reproducible RNG streams ([`RngStreams`]),
 //! * statistics collectors ([`StatsRegistry`], [`Counter`], [`Tally`],
 //!   [`TimeSeries`], [`Histogram`]),
@@ -47,7 +49,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, RunOutcome, Simulation, World};
+pub use engine::{Ctx, InstantBatch, RunOutcome, Simulation, World};
 pub use queue::{EventKey, EventQueue};
 pub use rng::{exponential, pareto, uniform, RngStreams};
 pub use stats::{Counter, Histogram, StatsRegistry, Tally, TimeSeries};

@@ -11,6 +11,11 @@ enum Op {
     Push(u64),
     /// Pop the earliest event.
     Pop,
+    /// Batch-drain up to n events of the head instant via `pop_if_at`.
+    PopBatch(usize),
+    /// `pop_if_at` at a time that may not be the head instant (usually a
+    /// miss — must take nothing).
+    PopAt(u64),
     /// Cancel the k-th key handed out so far (if any).
     Cancel(usize),
     /// Peek the earliest pending time.
@@ -21,6 +26,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         4 => (0u64..50).prop_map(Op::Push),
         3 => Just(Op::Pop),
+        2 => (1usize..6).prop_map(Op::PopBatch),
+        1 => (0u64..50).prop_map(Op::PopAt),
         2 => any::<prop::sample::Index>().prop_map(|i| Op::Cancel(i.index(64))),
         1 => Just(Op::Peek),
     ]
@@ -62,6 +69,13 @@ impl Model {
     fn peek(&self) -> Option<u64> {
         self.live.keys().next().map(|&(t, _)| t)
     }
+    /// Pop the earliest event only if it fires exactly at `t`.
+    fn pop_if_at(&mut self, t: u64) -> Option<u64> {
+        if self.peek() != Some(t) {
+            return None;
+        }
+        self.pop().map(|(_, v)| v)
+    }
 }
 
 proptest! {
@@ -94,6 +108,24 @@ proptest! {
                         }
                         (g, w) => prop_assert!(false, "queue {g:?} vs model {w:?}"),
                     }
+                }
+                Op::PopBatch(n) => {
+                    if let Some(at) = queue.peek_time() {
+                        prop_assert_eq!(Some(at.nanos()), model.peek());
+                        for _ in 0..n {
+                            let got = queue.pop_if_at(at);
+                            let want = model.pop_if_at(at.nanos());
+                            prop_assert_eq!(got, want);
+                            if got.is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Op::PopAt(t) => {
+                    let got = queue.pop_if_at(SimTime(t));
+                    let want = model.pop_if_at(t);
+                    prop_assert_eq!(got, want, "pop_if_at({t})");
                 }
                 Op::Cancel(i) => {
                     if keys.is_empty() {

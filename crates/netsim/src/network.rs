@@ -13,7 +13,7 @@
 
 use crate::hashing::FastHashMap;
 use crate::ids::{ClusterId, NodeId};
-use crate::topology::Topology;
+use crate::topology::{LinkSpec, Topology};
 use desim::{SimDuration, SimTime};
 
 /// What a message is, for accounting purposes.
@@ -52,23 +52,64 @@ pub struct TrafficCell {
 ///
 /// Hot-path layout: traffic accounts and contention pipes live in dense
 /// `clusters × clusters` arrays (the cluster-pair domain is small and
-/// known up front), and the per-node-channel FIFO table uses a fast
-/// non-cryptographic hasher — `send` performs no SipHash work and no
-/// allocation after a channel's first message.
+/// known up front), and the per-node-channel FIFO state lives in dense
+/// per-directed-cluster-pair rank tables (`ChannelFifo`) — `send`
+/// performs no hashing at all for small/medium federations, and no
+/// allocation after a cluster pair's first message.
 pub struct Network {
     topology: Topology,
     contention: ContentionModel,
     n_clusters: usize,
     /// Per directed node channel: last scheduled arrival (FIFO ordering).
-    channel_last_arrival: FastHashMap<(NodeId, NodeId), SimTime>,
+    channels: ChannelFifo,
     /// Per directed cluster pair: when the shared pipe frees up (dense
     /// `from * n + to`; `ZERO` = never used).
     pipe_free_at: Vec<SimTime>,
     /// Accounting: dense `(from * n + to) * 3 + class` cells.
     accounts: Vec<TrafficCell>,
+    /// Memoized [`LinkSpec::transmit_time`] results, direct-mapped on
+    /// `(bandwidth, bytes)`. A federation uses a handful of distinct
+    /// link-class x message-size combinations, so this turns the per-send
+    /// 128-bit division into a two-word compare (the cached value is the
+    /// division's exact result — timing is unchanged, only cheaper).
+    transmit_cache: [(u64, u64, SimDuration); TRANSMIT_CACHE_SLOTS],
 }
 
 const N_CLASSES: usize = 3;
+
+/// Above this many clusters the `clusters × clusters` pair-index table
+/// would dominate memory; fall back to one global hash map.
+const MAX_DENSE_CLUSTERS: usize = 2048;
+/// A cluster pair's `from_ranks × to_ranks` channel table is allocated
+/// densely up to this many cells (512 KiB); larger pairs hash per pair.
+const DENSE_CHANNEL_LIMIT: usize = 65_536;
+/// Slots in the transmit-time memo (power of two; collisions just recompute).
+const TRANSMIT_CACHE_SLOTS: usize = 16;
+
+/// FIFO last-arrival state for every directed node channel.
+///
+/// Channels are grouped by directed cluster pair; each pair's table is
+/// allocated lazily on its first message, dense (`from_rank * to_ranks +
+/// to_rank`) when small enough. `SimTime::ZERO` means "channel never
+/// used" — a real arrival is always strictly later.
+enum ChannelFifo {
+    /// `pair_index[from * n + to]` points into `pairs` (`u32::MAX` =
+    /// untouched pair).
+    Dense {
+        pair_index: Vec<u32>,
+        pairs: Vec<PairFifo>,
+    },
+    /// Huge federation: one flat hash over `(from, to)` node pairs.
+    Global(FastHashMap<(NodeId, NodeId), SimTime>),
+}
+
+/// One directed cluster pair's node-channel table.
+enum PairFifo {
+    /// `last[from_rank * to_ranks + to_rank]`.
+    Dense { to_ranks: u32, last: Box<[SimTime]> },
+    /// Clusters too large for a dense rank product.
+    Hash(FastHashMap<(u32, u32), SimTime>),
+}
 
 #[inline]
 fn class_index(class: MessageClass) -> usize {
@@ -83,14 +124,46 @@ impl Network {
     /// A network over `topology` with the default (unlimited) contention.
     pub fn new(topology: Topology) -> Self {
         let n = topology.num_clusters();
+        let channels = if n <= MAX_DENSE_CLUSTERS {
+            ChannelFifo::Dense {
+                pair_index: vec![u32::MAX; n * n],
+                pairs: Vec::new(),
+            }
+        } else {
+            ChannelFifo::Global(FastHashMap::default())
+        };
         Network {
             topology,
             contention: ContentionModel::default(),
             n_clusters: n,
-            channel_last_arrival: FastHashMap::default(),
+            channels,
             pipe_free_at: vec![SimTime::ZERO; n * n],
             accounts: vec![TrafficCell::default(); n * n * N_CLASSES],
+            // `bandwidth = 0` never occupies a slot (`transmit_time` is
+            // INFINITE there and short-circuits before the cache), so the
+            // zeroed sentinel rows can never produce a false hit.
+            transmit_cache: [(0, 0, SimDuration::ZERO); TRANSMIT_CACHE_SLOTS],
         }
+    }
+
+    /// `link.transmit_time(bytes)` through the memo cache.
+    #[inline]
+    fn transmit_time(&mut self, link: &LinkSpec, bytes: u64) -> SimDuration {
+        if link.bandwidth_bps == 0 {
+            return SimDuration::INFINITE;
+        }
+        let slot = ((link
+            .bandwidth_bps
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(bytes)) as usize)
+            & (TRANSMIT_CACHE_SLOTS - 1);
+        let (bps, b, t) = self.transmit_cache[slot];
+        if bps == link.bandwidth_bps && b == bytes {
+            return t;
+        }
+        let t = link.transmit_time(bytes);
+        self.transmit_cache[slot] = (link.bandwidth_bps, bytes, t);
+        t
     }
 
     #[inline]
@@ -120,7 +193,7 @@ impl Network {
         class: MessageClass,
     ) -> SimTime {
         let link = self.topology.link_between(from.cluster, to.cluster);
-        let transmit = link.transmit_time(bytes);
+        let transmit = self.transmit_time(&link, bytes);
 
         // Queueing under the chosen contention model.
         let depart = match self.contention {
@@ -137,10 +210,33 @@ impl Network {
 
         let mut arrival = depart.saturating_add(transmit).saturating_add(link.latency);
         // Enforce FIFO per directed node channel.
-        let last = self
-            .channel_last_arrival
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let last = match &mut self.channels {
+            ChannelFifo::Dense { pair_index, pairs } => {
+                let p = from.cluster.index() * self.n_clusters + to.cluster.index();
+                let mut pi = pair_index[p];
+                if pi == u32::MAX {
+                    pi = pairs.len() as u32;
+                    pair_index[p] = pi;
+                    let nf = self.topology.nodes_in(from.cluster) as usize;
+                    let nt = self.topology.nodes_in(to.cluster) as usize;
+                    pairs.push(if nf * nt <= DENSE_CHANNEL_LIMIT {
+                        PairFifo::Dense {
+                            to_ranks: nt as u32,
+                            last: vec![SimTime::ZERO; nf * nt].into_boxed_slice(),
+                        }
+                    } else {
+                        PairFifo::Hash(FastHashMap::default())
+                    });
+                }
+                match &mut pairs[pi as usize] {
+                    PairFifo::Dense { to_ranks, last } => {
+                        &mut last[from.rank as usize * *to_ranks as usize + to.rank as usize]
+                    }
+                    PairFifo::Hash(m) => m.entry((from.rank, to.rank)).or_insert(SimTime::ZERO),
+                }
+            }
+            ChannelFifo::Global(m) => m.entry((from, to)).or_insert(SimTime::ZERO),
+        };
         if arrival <= *last {
             arrival = last.saturating_add(SimDuration::from_nanos(1));
         }

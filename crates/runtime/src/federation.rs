@@ -241,6 +241,7 @@ impl Federation {
         let health = Arc::new(Health::new(total));
         let mut addr = Vec::with_capacity(total);
         let mut cells: Vec<Vec<NodeCell>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let proto = Arc::new(cfg.protocol.clone());
         for (g, &id) in ids.iter().enumerate() {
             let shard = g % num_shards;
             addr.push((shard as u32, cells[shard].len() as u32));
@@ -248,7 +249,7 @@ impl Federation {
             cells[shard].push(NodeCell {
                 id,
                 gidx: g,
-                engine: NodeEngine::new(cfg.protocol.clone(), id),
+                engine: NodeEngine::new(proto.clone(), id),
                 app: cfg.app_factory.as_ref().map(|f| f(id)),
                 clc_delay: delay,
                 clc_deadline: delay.map(|d| Instant::now() + d),

@@ -86,6 +86,12 @@ pub struct FederationWorld {
     /// `offsets[c]` = arena index of cluster `c`'s rank 0; `offsets[n]` =
     /// total node count.
     pub(crate) offsets: Vec<usize>,
+    /// Struct-of-arrays mirror of each engine's failed flag, maintained at
+    /// the single point engines mutate ([`Self::handle_engine`]). Liveness
+    /// sweeps (recovery-coordinator election, multi-failure collection,
+    /// send gating) scan this dense array cache-linearly instead of
+    /// striding over whole [`NodeEngine`]s.
+    pub(crate) failed: Vec<bool>,
     pub(crate) net: Network,
     pub(crate) clc_timer_keys: Vec<Option<EventKey>>,
     /// Per-cluster ranks already reported to the recovery coordinator and
@@ -112,13 +118,21 @@ impl FederationWorld {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut engines = Vec::new();
         let mut total = 0usize;
+        // One shared config for the whole arena, one shared initial DDV
+        // per cluster: at 100k nodes the per-engine copies these replace
+        // are the dominant construction cost and memory footprint.
+        let proto = std::sync::Arc::new(cfg.protocol.clone());
         for c in 0..n {
             offsets.push(total);
             let nodes = cfg.topology.nodes_in(netsim::ClusterId(c as u16));
+            let mut initial = storage::Ddv::zeros(n);
+            initial.set(c, storage::SeqNum(1));
+            let initial = std::sync::Arc::new(initial);
             for r in 0..nodes {
-                engines.push(NodeEngine::new(
-                    cfg.protocol.clone(),
+                engines.push(NodeEngine::with_initial_ddv(
+                    proto.clone(),
                     NodeId::new(c as u16, r),
+                    initial.clone(),
                 ));
             }
             total += nodes as usize;
@@ -143,10 +157,12 @@ impl FederationWorld {
             ledger: cfg.track_delivery.then(Default::default),
             ..Default::default()
         };
+        let failed = vec![false; engines.len()];
         FederationWorld {
             cfg,
             engines,
             offsets,
+            failed,
             net,
             clc_timer_keys: vec![None; n],
             reported: vec![std::collections::HashSet::new(); n],
@@ -174,15 +190,11 @@ impl FederationWorld {
         &self.engines[self.engine_index(id)]
     }
 
-    /// The engines of one cluster, rank order.
-    fn cluster_engines(&self, cluster: usize) -> &[NodeEngine] {
-        &self.engines[self.offsets[cluster]..self.offsets[cluster + 1]]
-    }
-
     fn handle_engine(&mut self, ctx: &mut Ctx<'_, Ev>, node: NodeId, input: Input) {
         let idx = self.engine_index(node);
         let mut buf = std::mem::take(&mut self.out_buf);
         self.engines[idx].handle(ctx.now(), input, &mut buf);
+        self.failed[idx] = self.engines[idx].is_failed();
         self.absorb(ctx, node, &mut buf);
         self.out_buf = buf;
     }
@@ -352,9 +364,9 @@ impl FederationWorld {
 
     /// Lowest surviving rank in a cluster (the detector's report target).
     fn recovery_coordinator(&self, cluster: usize) -> Option<u32> {
-        self.cluster_engines(cluster)
+        self.failed[self.offsets[cluster]..self.offsets[cluster + 1]]
             .iter()
-            .position(|e| !e.is_failed())
+            .position(|&f| !f)
             .map(|r| r as u32)
     }
 
@@ -419,7 +431,7 @@ impl World for FederationWorld {
                     // sender-logging guarantee (§3.3). Intra-cluster
                     // traffic is covered by the coordinated checkpoint,
                     // and a failed node's application is down.
-                    let live = !self.engine(from).is_failed();
+                    let live = !self.failed[self.engine_index(from)];
                     if let Some(ledger) = self.hostile_stats.ledger.as_mut() {
                         if live && from.cluster != to.cluster {
                             ledger.record_sent(tag);
@@ -469,7 +481,7 @@ impl World for FederationWorld {
                 self.handle_engine(ctx, NodeId::new(0, 0), Input::GcTimer);
             }
             Ev::Fault { node } => {
-                if self.engine(node).is_failed() {
+                if self.failed[self.engine_index(node)] {
                     return;
                 }
                 // The node was alive this instant: an earlier report on it
@@ -493,10 +505,10 @@ impl World for FederationWorld {
                 // earlier report whose rollback is still in flight).
                 let base = self.offsets[cluster];
                 {
-                    let engines = &self.engines;
-                    self.reported[cluster].retain(|&r| engines[base + r as usize].is_failed());
+                    let failed = &self.failed;
+                    self.reported[cluster].retain(|&r| failed[base + r as usize]);
                 }
-                if !self.cluster_engines(cluster)[failed_rank as usize].is_failed()
+                if !self.failed[base + failed_rank as usize]
                     || self.reported[cluster].contains(&failed_rank)
                 {
                     return;
@@ -510,13 +522,10 @@ impl World for FederationWorld {
                 // a single multi-failure report, exactly like the runtime's
                 // heartbeat probes (`Input::DetectFaults`); the later
                 // per-fault Detect events then skip as already reported.
-                let failed_ranks: Vec<u32> = self
-                    .cluster_engines(cluster)
+                let failed_ranks: Vec<u32> = self.failed[base..self.offsets[cluster + 1]]
                     .iter()
                     .enumerate()
-                    .filter(|&(r, e)| {
-                        e.is_failed() && !self.reported[cluster].contains(&(r as u32))
-                    })
+                    .filter(|&(r, &f)| f && !self.reported[cluster].contains(&(r as u32)))
                     .map(|(r, _)| r as u32)
                     .collect();
                 self.reported[cluster].extend(failed_ranks.iter().copied());
