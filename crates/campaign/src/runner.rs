@@ -48,6 +48,14 @@ pub struct CellOutcome {
     pub held: u64,
     /// Messages reordered past FIFO.
     pub reordered: u64,
+    /// Messages the lossy wire dropped (retransmitted copies count
+    /// individually). Console-only: deliberately absent from
+    /// [`to_json`](CampaignSummary::to_json) to keep the golden schema
+    /// stable.
+    pub lost: u64,
+    /// Copies the reliable transport put back on the wire. Console-only,
+    /// like `lost`.
+    pub retransmissions: u64,
     /// Completed garbage collections across the federation.
     pub gc_runs: u64,
     /// Forced (communication-induced) CLCs across the federation.
@@ -150,6 +158,8 @@ fn run_cell(
         duplicates: hostile.duplicates_injected,
         held: hostile.messages_held,
         reordered: hostile.messages_reordered,
+        lost: hostile.messages_lost,
+        retransmissions: hostile.retransmissions,
         gc_runs: report
             .clusters
             .iter()
@@ -217,6 +227,8 @@ mod tests {
                 duplicates: 5,
                 held: 6,
                 reordered: 7,
+                lost: 0,
+                retransmissions: 0,
                 gc_runs: 8,
                 forced_clcs: 9,
                 unforced_clcs: 10,

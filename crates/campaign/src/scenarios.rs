@@ -263,6 +263,61 @@ fn flash_crowd_hostile(topo: &Topology, seed: u64) -> ScenarioRun {
     }
 }
 
+/// Lossy WAN: every inter-cluster link drops half its traffic, with the
+/// reliable transport restoring exactly-once delivery underneath the
+/// engines. One fault proves recovery — detection alerts, rollback fan-out,
+/// sender-log replay — survives a wire this bad.
+fn lossy_wan(topo: &Topology, seed: u64) -> ScenarioRun {
+    let spec = HostileSpec::seeded(seed ^ 0x1055).with_loss(0.5);
+    let cfg = base_config(topo, seed)
+        .with_hostile(spec)
+        .with_reliable_transport()
+        .with_fault(minutes(14), NodeId::new(0, 1));
+    ScenarioRun {
+        cfg,
+        waves: vec![wave(14, vec![0])],
+        gc: gc_expectation(),
+    }
+}
+
+/// Asymmetric cut: cluster 0's egress is severed for two minutes while its
+/// ingress keeps flowing, so data reaches cluster 0 but the acks die on the
+/// way back — only retransmission plus receiver-side dedup keeps the
+/// outcome exactly-once. Light loss runs throughout, and a late fault
+/// exercises recovery over the healed network.
+fn asymmetric_cut(topo: &Topology, seed: u64) -> ScenarioRun {
+    let spec = HostileSpec::seeded(seed ^ 0xA5CF).with_loss(0.1);
+    let cfg = base_config(topo, seed)
+        .with_hostile(spec)
+        .with_reliable_transport()
+        .with_oneway_partition(minutes(10), minutes(12), vec![0])
+        .with_fault(minutes(20), NodeId::new(0, 1));
+    ScenarioRun {
+        cfg,
+        waves: vec![wave(20, vec![0])],
+        gc: gc_expectation(),
+    }
+}
+
+/// Fault inside a closing partition: cluster 0 is cut off, one of its
+/// nodes dies thirty seconds before the heal, so the rollback alert and
+/// the ensuing cascade cross the healing cut — over a wire that then
+/// drops a quarter of everything.
+fn partition_during_cascade(topo: &Topology, seed: u64) -> ScenarioRun {
+    let heal = minutes(18) + SimDuration::from_secs(30);
+    let spec = HostileSpec::seeded(seed ^ 0xCA5C).with_loss(0.25);
+    let cfg = base_config(topo, seed)
+        .with_hostile(spec)
+        .with_reliable_transport()
+        .with_partition(minutes(16), heal, vec![0])
+        .with_fault(minutes(18), NodeId::new(0, 1));
+    ScenarioRun {
+        cfg,
+        waves: vec![wave(18, vec![0])],
+        gc: gc_expectation(),
+    }
+}
+
 /// The scenario library, in summary order.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
@@ -285,6 +340,21 @@ pub fn scenarios() -> Vec<Scenario> {
             name: "flash_crowd_hostile",
             describe: "flash crowds on heavy-tailed traffic over a duplicating network",
             build: flash_crowd_hostile,
+        },
+        Scenario {
+            name: "lossy_wan",
+            describe: "50% inter-cluster packet loss under the reliable transport, one fault",
+            build: lossy_wan,
+        },
+        Scenario {
+            name: "asymmetric_cut",
+            describe: "one-way egress cut of cluster 0 plus 10% loss, fault after the heal",
+            build: asymmetric_cut,
+        },
+        Scenario {
+            name: "partition_during_cascade",
+            describe: "fault 30s before a partition heals, rollback cascade crosses the cut",
+            build: partition_during_cascade,
         },
     ]
 }

@@ -377,7 +377,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             "FAIL"
         };
         println!(
-            "{status:4} {:<20} {:<12} seed {:<10} rollbacks {:<2} delivered {}/{} dup {} held {} reord {}",
+            "{status:4} {:<20} {:<12} seed {:<10} rollbacks {:<2} delivered {}/{} dup {} held {} reord {} lost {} rexmit {}",
             cell.scenario,
             cell.topology,
             cell.seed,
@@ -387,6 +387,8 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             cell.duplicates,
             cell.held,
             cell.reordered,
+            cell.lost,
+            cell.retransmissions,
         );
         for v in &cell.violations {
             println!("       - {v}");

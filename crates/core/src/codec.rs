@@ -199,6 +199,8 @@ const T_ALERT_LOCAL: u8 = 12;
 const T_GC_COLLECT: u8 = 13;
 const T_GC_DDV_LIST: u8 = 14;
 const T_GC_PRUNE: u8 = 15;
+const T_RELIABLE: u8 = 16;
+const T_XPORT_ACK: u8 = 17;
 
 /// Encode a message into a fresh buffer.
 pub fn encode(msg: &Msg) -> Vec<u8> {
@@ -332,6 +334,21 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
                 put_u64(&mut buf, sn.0);
             }
         }
+        Msg::Reliable { seq, inner } => {
+            debug_assert!(
+                !matches!(**inner, Msg::Reliable { .. }),
+                "transport envelopes never nest"
+            );
+            buf.push(T_RELIABLE);
+            put_u64(&mut buf, *seq);
+            let body = encode(inner);
+            put_u64(&mut buf, body.len() as u64);
+            buf.extend_from_slice(&body);
+        }
+        Msg::XportAck { seq } => {
+            buf.push(T_XPORT_ACK);
+            put_u64(&mut buf, *seq);
+        }
     }
     buf
 }
@@ -433,6 +450,25 @@ pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
             }
             Msg::GcPrune { min_sns }
         }
+        T_RELIABLE => {
+            let seq = get_u64(buf, &mut pos)?;
+            let len = get_u64(buf, &mut pos)? as usize;
+            let body = buf.get(pos..pos + len).ok_or(DecodeError::Truncated)?;
+            pos += len;
+            let inner = decode(body)?;
+            // The transport never nests envelopes; rejecting nesting also
+            // bounds decode recursion to one level on adversarial input.
+            if matches!(inner, Msg::Reliable { .. }) {
+                return Err(DecodeError::Invalid("nested reliable envelope"));
+            }
+            Msg::Reliable {
+                seq,
+                inner: Box::new(inner),
+            }
+        }
+        T_XPORT_ACK => Msg::XportAck {
+            seq: get_u64(buf, &mut pos)?,
+        },
         t => return Err(DecodeError::BadTag(t)),
     };
     if pos != buf.len() {
@@ -559,6 +595,21 @@ mod tests {
             Msg::GcPrune {
                 min_sns: vec![SeqNum(3), SeqNum(1), SeqNum(0)],
             },
+            Msg::Reliable {
+                seq: 1 << 50,
+                inner: Box::new(Msg::AppInter {
+                    payload: AppPayload { bytes: 9, tag: 4 },
+                    piggyback: Piggyback::Sn(SeqNum(2)),
+                    log_id: LogId(3),
+                    resend: false,
+                    sender_epoch: 0,
+                }),
+            },
+            Msg::Reliable {
+                seq: 0,
+                inner: Box::new(Msg::GcCollect),
+            },
+            Msg::XportAck { seq: 12345 },
         ]
     }
 
@@ -621,6 +672,23 @@ mod tests {
         let mut wire = encode(&Msg::GcCollect);
         wire[0] = 99;
         assert_eq!(decode(&wire), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn nested_reliable_envelope_rejected() {
+        // Hand-build the nesting the encoder forbids: Reliable{Reliable{..}}.
+        let inner = encode(&Msg::Reliable {
+            seq: 1,
+            inner: Box::new(Msg::GcCollect),
+        });
+        let mut wire = vec![WIRE_VERSION, T_RELIABLE];
+        put_u64(&mut wire, 2);
+        put_u64(&mut wire, inner.len() as u64);
+        wire.extend_from_slice(&inner);
+        assert_eq!(
+            decode(&wire),
+            Err(DecodeError::Invalid("nested reliable envelope"))
+        );
     }
 
     #[test]

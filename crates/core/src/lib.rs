@@ -58,6 +58,7 @@ pub mod node;
 pub mod persist;
 pub mod recovery;
 pub mod testkit;
+pub mod xport;
 
 pub use checkpoint::{DeliveredKey, DeliveredRecord, NodeCheckpoint};
 pub use config::{PiggybackMode, ProtocolConfig, WireSizes};
@@ -65,6 +66,7 @@ pub use io::{Input, Output, OutputBuf};
 pub use msg::{AppPayload, ClcReason, Msg, Piggyback};
 pub use node::NodeEngine;
 pub use recovery::{is_consistent_cut, recovery_line, recovery_line_multi, RecoveryLine};
+pub use xport::{ReceiverChannel, SenderChannel, XportConfig};
 
 // Re-export the storage vocabulary used throughout the public API.
 pub use storage::{ClcMeta, Ddv, LogId, ReplicationPolicy, SeqNum};

@@ -194,6 +194,26 @@ pub enum Msg {
         /// Per-cluster smallest SN any failure could force a rollback to.
         min_sns: Vec<SeqNum>,
     },
+
+    // ---- host-level reliable transport (lossy networks) ----
+    /// Reliability envelope around an inter-cluster message on a lossy
+    /// network: the sending host assigns `seq` per directed node pair,
+    /// retransmits with exponential backoff until acknowledged, and the
+    /// receiving host dedups by `seq` before handing `inner` to the
+    /// engine. Engines never see this variant (see [`crate::xport`]).
+    Reliable {
+        /// Per-directed-node-pair transport sequence number.
+        seq: u64,
+        /// The protocol message being carried.
+        inner: Box<Msg>,
+    },
+    /// Receiving host → sending host: [`Msg::Reliable`] copy `seq`
+    /// arrived. Sent unreliably — a lost ack is covered by the sender's
+    /// retransmission plus the receiver's dedup.
+    XportAck {
+        /// The transport sequence being acknowledged.
+        seq: u64,
+    },
 }
 
 impl Msg {
@@ -201,7 +221,8 @@ impl Msg {
     pub fn class(&self) -> MessageClass {
         match self {
             Msg::AppIntra { .. } | Msg::AppInter { .. } => MessageClass::App,
-            Msg::InterAck { .. } => MessageClass::Ack,
+            Msg::InterAck { .. } | Msg::XportAck { .. } => MessageClass::Ack,
+            Msg::Reliable { inner, .. } => inner.class(),
             _ => MessageClass::Protocol,
         }
     }
@@ -225,6 +246,8 @@ impl Msg {
             Msg::ClcCommit { .. } => s.control + cfg.ddv_bytes(),
             Msg::GcDdvList { list, .. } => s.control + list.len() as u64 * (8 + cfg.ddv_bytes()),
             Msg::GcPrune { min_sns } => s.control + 8 * min_sns.len() as u64,
+            Msg::Reliable { inner, .. } => inner.wire_bytes(cfg) + 8,
+            Msg::XportAck { .. } => s.ack,
             _ => s.control,
         }
     }

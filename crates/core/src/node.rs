@@ -540,6 +540,13 @@ impl NodeEngine {
                 }
                 self.apply_gc_prune(&min_sns, out);
             }
+            // Transport frames terminate at the *host* reliability layer
+            // (crate::xport): hosts unwrap Reliable and consume XportAck
+            // before the engine is invoked. Reaching here means a host
+            // wiring bug; drop rather than corrupt protocol state.
+            Msg::Reliable { .. } | Msg::XportAck { .. } => {
+                debug_assert!(false, "transport frame reached the engine");
+            }
         }
     }
 

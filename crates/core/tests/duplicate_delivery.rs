@@ -216,3 +216,172 @@ fn pending_duplicate_delivers_exactly_once() {
         "payload must reach the application exactly once"
     );
 }
+
+/// Satellite of the lossy-network work: the per-sender `delivered_hwm`
+/// fast path is *not* reset by a rollback, so after a restore it sits
+/// stale-high above log ids whose deliveries were just discarded. A
+/// retransmitted copy of such a rolled-back log id must not be
+/// misclassified as a duplicate: the stale mark only skips the
+/// common-case probe shortcut, and the probe itself runs against the
+/// *restored* delivered record, finds nothing, and re-delivers into the
+/// new incarnation.
+#[test]
+fn rolled_back_log_id_is_redelivered_despite_stale_hwm() {
+    let mut fed = InstantFederation::new(ProtocolConfig::new(vec![2, 2]));
+    let sender = NodeId::new(0, 0);
+    let receiver = NodeId::new(1, 0);
+    // Two sends: log ids 0 and 1, pushing the receiver's high-water mark
+    // for this sender to 1. The first forces CLC 2; both deliveries land
+    // *after* that commit, so the restored record will contain neither.
+    fed.app_send(
+        sender,
+        receiver,
+        AppPayload {
+            bytes: 256,
+            tag: 41,
+        },
+    );
+    fed.app_send(
+        sender,
+        receiver,
+        AppPayload {
+            bytes: 256,
+            tag: 42,
+        },
+    );
+    assert_eq!(fed.delivered_tags(receiver), vec![41, 42]);
+
+    // Fail a cluster-1 node: the cluster restores CLC 2, discarding both
+    // deliveries; the sender's log replays both messages with their
+    // original log ids — exactly the retransmitted-rolled-back-id shape.
+    fed.fail_node(NodeId::new(1, 1));
+    assert_eq!(
+        fed.delivered_tags(receiver),
+        vec![41, 42, 41, 42],
+        "replayed copies must re-deliver into the restored incarnation"
+    );
+
+    // A late transport duplicate of the replay is now a true duplicate of
+    // the new incarnation's delivery: re-acked, never a third delivery.
+    fed.input(
+        receiver,
+        receive(
+            sender,
+            Msg::AppInter {
+                payload: AppPayload {
+                    bytes: 256,
+                    tag: 42,
+                },
+                piggyback: Piggyback::Sn(SeqNum(1)),
+                log_id: LogId(1),
+                resend: true,
+                sender_epoch: 0,
+            },
+        ),
+    );
+    assert_eq!(fed.delivered_tags(receiver), vec![41, 42, 41, 42]);
+}
+
+/// Satellite of the lossy-network work: the ack-loss shape. The original
+/// is delivered and acknowledged, the ack vanishes on the wire, and the
+/// sender's retransmission arrives only after a later CLC sealed the
+/// delivery into a committed checkpoint. The retransmitted copy must be
+/// re-acknowledged with the SN recorded at first delivery — probed
+/// through the sealed generational record — and never re-delivered.
+#[test]
+fn retransmission_after_clc_is_reacked_with_original_sn() {
+    let cfg = ProtocolConfig::new(vec![1, 2]);
+    let me = NodeId::new(1, 1);
+    let mut engine = NodeEngine::new(cfg, me);
+    let mut out = OutputBuf::new();
+    let sender = NodeId::new(0, 0);
+    let t = |n: u64| desim::SimTime::ZERO + desim::SimDuration::from_nanos(n);
+    let app_inter = |resend: bool| {
+        receive(
+            sender,
+            Msg::AppInter {
+                payload: AppPayload { bytes: 256, tag: 9 },
+                piggyback: Piggyback::Sn(SeqNum(0)),
+                log_id: LogId(0),
+                resend,
+                sender_epoch: 0,
+            },
+        )
+    };
+
+    // Original: delivered immediately (no forced CLC) and acked at SN 1.
+    engine.handle(t(1), app_inter(false), &mut out);
+    let outs: Vec<Output> = out.drain().collect();
+    assert!(outs.iter().any(|o| matches!(o, Output::DeliverApp { .. })));
+    assert!(outs.iter().any(|o| matches!(
+        o,
+        Output::Send {
+            msg: Msg::InterAck {
+                receiver_sn: SeqNum(1),
+                ..
+            },
+            ..
+        }
+    )));
+    // The ack is "lost" on the wire: nothing is forwarded to the sender.
+
+    // A CLC commits, sealing the delivery into checkpoint SN 2.
+    let coord = NodeId::new(1, 0);
+    engine.handle(
+        t(2),
+        receive(coord, Msg::ClcRequest { round: 1, epoch: 0 }),
+        &mut out,
+    );
+    out.drain().for_each(drop);
+    engine.handle(
+        t(3),
+        receive(
+            coord,
+            Msg::FragmentStored {
+                round: 1,
+                holder: 0,
+                epoch: 0,
+            },
+        ),
+        &mut out,
+    );
+    out.drain().for_each(drop);
+    engine.handle(
+        t(4),
+        receive(
+            coord,
+            Msg::ClcCommit {
+                round: 1,
+                sn: SeqNum(2),
+                ddv: Arc::new(Ddv::from_entries(vec![SeqNum(1), SeqNum(2)])),
+                forced: false,
+                epoch: 0,
+            },
+        ),
+        &mut out,
+    );
+    out.drain().for_each(drop);
+
+    // The sender retransmits the unacked message post-CLC: the probe must
+    // reach through the sealed record, re-ack with the *original* SN 1
+    // (not the current SN 2), and must not deliver a second time.
+    engine.handle(t(5), app_inter(true), &mut out);
+    let outs: Vec<Output> = out.drain().collect();
+    assert!(
+        !outs.iter().any(|o| matches!(o, Output::DeliverApp { .. })),
+        "retransmitted copy re-delivered: {outs:?}"
+    );
+    assert!(
+        outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                to,
+                msg: Msg::InterAck {
+                    log_id: LogId(0),
+                    receiver_sn: SeqNum(1),
+                },
+            } if *to == sender
+        )),
+        "re-ack with the first-delivery SN missing: {outs:?}"
+    );
+}

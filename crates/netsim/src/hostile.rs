@@ -9,7 +9,17 @@
 //!
 //! * **cluster partitions with scripted heals** — inter-cluster messages
 //!   crossing an active cut are held in the WAN and arrive just after the
-//!   heal, in send order;
+//!   heal, in send order; a cut can be *asymmetric*
+//!   ([`PartitionSpec::oneway`]): A→B severed while B→A flows;
+//! * **packet loss** — an inter-cluster message (or any *directed*
+//!   cluster pair's messages, via [`HostileSpec::with_pair_loss`]) simply
+//!   vanishes with probability `p`. Loss breaks the exactly-once transport
+//!   the protocol engine assumes, so lossy runs are expected to pair it
+//!   with the host-level reliability sub-layer (`hc3i_core::xport`):
+//!   sender-side retransmission with exponential backoff plus
+//!   receiver-side dedup restore exactly-once delivery *despite* loss —
+//!   every retransmitted copy re-enters this post-processor and is drawn
+//!   against loss independently;
 //! * **message duplication** — a second copy of an inter-cluster message
 //!   arrives a bounded delay after the first (the network charges nothing
 //!   for the ghost copy, so traffic accounting is unchanged);
@@ -18,6 +28,13 @@
 //!   the protocol's intra-cluster ordering is part of its machine model);
 //! * **asymmetric per-cluster-pair latency skew** — each *directed* cluster
 //!   pair can carry an extra base + jitter delay.
+//!
+//! The pipeline order is skew → reorder → loss → partition hold → FIFO
+//! clamp → duplication. Loss and partition processing deliberately run
+//! *after* the reorder reschedule: a reorder jitter can push an arrival
+//! into a partition window that opens later, and the hold must still
+//! catch it (messages never sneak through an active cut, and a message
+//! held by a cut drains in send order even if it was reordered first).
 //!
 //! Everything is driven by one embedded SplitMix64 generator seeded from
 //! the [`HostileSpec`], so runs remain a pure function of their
@@ -98,6 +115,11 @@ impl LatencyDist {
 /// Messages crossing the cut while it is active are *held*, not dropped —
 /// the model is a WAN outage with retransmission, so held messages arrive
 /// just after the heal, still in per-channel send order.
+///
+/// A `oneway` cut is asymmetric: only traffic *from* the `group` side *to*
+/// the outside is severed; the reverse direction flows normally. This is
+/// the classic half-open WAN failure (A's packets to B blackholed while
+/// B→A still delivers) that a symmetric model cannot express.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionSpec {
     /// Cut activation time.
@@ -107,12 +129,25 @@ pub struct PartitionSpec {
     /// Clusters on one side of the cut; every other cluster is on the
     /// other side.
     pub group: Vec<u16>,
+    /// Asymmetric cut: only `group` → outside is severed; outside →
+    /// `group` traffic flows.
+    pub oneway: bool,
 }
 
 impl PartitionSpec {
-    /// True if the cut separates clusters `a` and `b`.
+    /// True if the cut separates clusters `a` and `b` in at least one
+    /// direction.
     pub fn severs(&self, a: ClusterId, b: ClusterId) -> bool {
         self.group.contains(&a.0) != self.group.contains(&b.0)
+    }
+
+    /// True if the cut severs the *directed* path `from → to`.
+    pub fn severs_directed(&self, from: ClusterId, to: ClusterId) -> bool {
+        if self.oneway {
+            self.group.contains(&from.0) && !self.group.contains(&to.0)
+        } else {
+            self.severs(from, to)
+        }
     }
 }
 
@@ -135,6 +170,11 @@ pub struct HostileSpec {
     pub reorder_jitter: SimDuration,
     /// Per *directed* cluster-pair latency skew `(from, to, dist)`.
     pub skew: Vec<(u16, u16, LatencyDist)>,
+    /// Probability that an inter-cluster message vanishes on the wire
+    /// (applies to every directed pair without an explicit override).
+    pub loss: f64,
+    /// Per *directed* cluster-pair loss overrides `(from, to, p)`.
+    pub pair_loss: Vec<(u16, u16, f64)>,
 }
 
 impl HostileSpec {
@@ -169,10 +209,29 @@ impl HostileSpec {
         self
     }
 
+    /// Drop every inter-cluster message with probability `p`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss = p;
+        self
+    }
+
+    /// Override the loss probability of the directed pair `from → to`.
+    pub fn with_pair_loss(mut self, from: u16, to: u16, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.pair_loss.push((from, to, p));
+        self
+    }
+
+    /// True if any loss probability is non-zero.
+    pub fn has_loss(&self) -> bool {
+        self.loss > 0.0 || self.pair_loss.iter().any(|&(_, _, p)| p > 0.0)
+    }
+
     /// True if no feature is enabled (partitions are configured
     /// separately).
     pub fn is_quiet(&self) -> bool {
-        self.duplication <= 0.0 && self.reorder <= 0.0 && self.skew.is_empty()
+        self.duplication <= 0.0 && self.reorder <= 0.0 && self.skew.is_empty() && !self.has_loss()
     }
 }
 
@@ -185,6 +244,9 @@ pub struct HostileOutcome {
     pub duplicate: Option<SimTime>,
     /// The message was held by an active partition.
     pub held: bool,
+    /// The message vanished on the wire — the caller must not schedule a
+    /// delivery (the `arrival` field is meaningless in this case).
+    pub lost: bool,
 }
 
 /// Post-processor applied to every scheduled delivery. Owns its own FIFO
@@ -197,6 +259,7 @@ pub struct HostileNet {
     partitions: Vec<PartitionSpec>,
     rng: Mix64,
     skew: FastHashMap<(u16, u16), LatencyDist>,
+    pair_loss: FastHashMap<(u16, u16), f64>,
     last_arrival: FastHashMap<(NodeId, NodeId), SimTime>,
     /// Messages held at a partition cut.
     pub held: u64,
@@ -204,6 +267,8 @@ pub struct HostileNet {
     pub duplicates: u64,
     /// Messages released from FIFO order.
     pub reordered: u64,
+    /// Messages that vanished on the wire.
+    pub lost: u64,
 }
 
 impl HostileNet {
@@ -216,16 +281,22 @@ impl HostileNet {
         for &(from, to, dist) in &spec.skew {
             skew.insert((from, to), dist);
         }
+        let mut pair_loss = FastHashMap::default();
+        for &(from, to, p) in &spec.pair_loss {
+            pair_loss.insert((from, to), p);
+        }
         let rng = Mix64::new(spec.seed);
         HostileNet {
             spec,
             partitions,
             rng,
             skew,
+            pair_loss,
             last_arrival: FastHashMap::default(),
             held: 0,
             duplicates: 0,
             reordered: 0,
+            lost: 0,
         }
     }
 
@@ -235,9 +306,14 @@ impl HostileNet {
     }
 
     /// Post-process one delivery scheduled by the base network: apply
-    /// latency skew, reordering, partition holds and duplication, in that
-    /// order. `arrival` is the base network's arrival time (already FIFO
-    /// per channel).
+    /// latency skew, reordering, loss, partition holds and duplication, in
+    /// that order. `arrival` is the base network's arrival time (already
+    /// FIFO per channel).
+    ///
+    /// Loss and partition holds run *after* the reorder reschedule on
+    /// purpose: the reorder jitter moves the arrival, and whether a
+    /// message crosses an active cut must be judged against where it
+    /// actually lands, not where FIFO would have put it.
     pub fn post(
         &mut self,
         now: SimTime,
@@ -266,32 +342,67 @@ impl HostileNet {
             self.reordered += 1;
         }
 
-        // 3. Partition hold: a message crossing an active cut sits in the
+        // 3. Packet loss: the message vanishes. A lost message constrains
+        //    nothing downstream — no partition hold, no FIFO clamp state,
+        //    no duplicate — so the early return is the whole story.
+        if inter {
+            let p = self
+                .pair_loss
+                .get(&(from.cluster.0, to.cluster.0))
+                .copied()
+                .unwrap_or(self.spec.loss);
+            if p > 0.0 && self.rng.chance(p) {
+                self.lost += 1;
+                return HostileOutcome {
+                    arrival,
+                    duplicate: None,
+                    held: false,
+                    lost: true,
+                };
+            }
+        }
+
+        // 4. Partition hold: a message crossing an active cut sits in the
         //    WAN until the heal. The FIFO clamp below then serializes all
         //    held messages of a channel in send order after the heal.
+        //    Every window is re-checked after a bump (no early break): a
+        //    reorder jitter or an earlier hold's release can land the
+        //    arrival inside a *later* window, which must hold it again —
+        //    otherwise a message sneaks through mid-outage.
         if inter {
-            for p in &self.partitions {
-                if p.severs(from.cluster, to.cluster) && now < p.until && arrival >= p.at {
-                    let release = p.until.saturating_add(SimDuration::from_nanos(1));
-                    if release > arrival {
-                        arrival = release;
-                        held = true;
-                        self.held += 1;
+            let mut bumped = true;
+            while bumped {
+                bumped = false;
+                for p in &self.partitions {
+                    if p.severs_directed(from.cluster, to.cluster)
+                        && now < p.until
+                        && arrival >= p.at
+                    {
+                        let release = p.until.saturating_add(SimDuration::from_nanos(1));
+                        if release > arrival {
+                            arrival = release;
+                            bumped = true;
+                            if !held {
+                                held = true;
+                                self.held += 1;
+                            }
+                        }
                     }
-                    break;
                 }
             }
         }
 
-        // 4. Re-establish per-channel FIFO unless this message was
-        //    deliberately reordered.
+        // 5. Re-establish per-channel FIFO unless this message was
+        //    deliberately reordered — but a held message always drains in
+        //    send order: the hold-and-drain contract of a cut overrides
+        //    the reorder release.
         let last = self.last_arrival.entry((from, to)).or_insert(SimTime::ZERO);
-        if !reordered && *last != SimTime::ZERO && arrival <= *last {
+        if (!reordered || held) && *last != SimTime::ZERO && arrival <= *last {
             arrival = last.saturating_add(SimDuration::from_nanos(1));
         }
         *last = (*last).max(arrival);
 
-        // 5. Duplication: a ghost copy arrives after the original. The
+        // 6. Duplication: a ghost copy arrives after the original. The
         //    base network never sees it, so byte/message accounting is
         //    untouched by construction.
         let duplicate =
@@ -310,6 +421,7 @@ impl HostileNet {
             arrival,
             duplicate,
             held,
+            lost: false,
         }
     }
 }
@@ -345,6 +457,7 @@ mod tests {
             at: t(100),
             until: t(200),
             group: vec![0],
+            oneway: false,
         };
         let mut h = HostileNet::new(HostileSpec::default(), vec![cut]);
         // Sent and arriving before the cut: untouched.
@@ -370,6 +483,7 @@ mod tests {
             at: t(0) + SimDuration::from_nanos(1),
             until: t(1000),
             group: vec![0, 1],
+            oneway: false,
         };
         assert!(cut.severs(ClusterId(0), ClusterId(2)));
         assert!(!cut.severs(ClusterId(0), ClusterId(1)));
@@ -437,6 +551,143 @@ mod tests {
     }
 
     #[test]
+    fn loss_drops_inter_cluster_messages_only() {
+        let spec = HostileSpec::seeded(13).with_loss(1.0);
+        let mut h = HostileNet::new(spec, vec![]);
+        let o = h.post(t(0), n(0, 0), n(1, 0), t(1));
+        assert!(o.lost);
+        assert_eq!(o.duplicate, None);
+        assert!(!o.held);
+        // Intra-cluster (SAN) traffic is never lost.
+        let i = h.post(t(0), n(0, 0), n(0, 1), t(1));
+        assert!(!i.lost);
+        assert_eq!(h.lost, 1);
+    }
+
+    #[test]
+    fn pair_loss_overrides_global_loss_per_direction() {
+        let spec = HostileSpec::seeded(21)
+            .with_loss(1.0)
+            .with_pair_loss(1, 0, 0.0);
+        let mut h = HostileNet::new(spec, vec![]);
+        assert!(h.post(t(0), n(0, 0), n(1, 0), t(1)).lost);
+        assert!(!h.post(t(0), n(1, 0), n(0, 0), t(1)).lost);
+        assert!(HostileSpec::seeded(1).with_pair_loss(0, 1, 0.5).has_loss());
+        assert!(!HostileSpec::seeded(1).with_pair_loss(0, 1, 0.0).has_loss());
+    }
+
+    #[test]
+    fn lost_messages_leave_no_hold_or_clamp_debt() {
+        // A lost message is drawn out *before* the partition hold and the
+        // FIFO clamp, so it must not drag the channel's clamp state to the
+        // heal time. Find a seed whose first draw loses and second keeps.
+        let seed = (0u64..)
+            .find(|&s| {
+                let mut m = Mix64::new(s);
+                m.chance(0.5) && !m.chance(0.5)
+            })
+            .unwrap();
+        let cut = PartitionSpec {
+            at: t(100),
+            until: t(200),
+            group: vec![0],
+            oneway: false,
+        };
+        let mut h = HostileNet::new(HostileSpec::seeded(seed).with_loss(0.5), vec![cut]);
+        let first = h.post(t(10), n(0, 0), n(1, 0), t(101));
+        assert!(first.lost);
+        let second = h.post(t(10), n(0, 0), n(1, 0), t(102));
+        assert!(!second.lost);
+        assert!(second.held);
+        // Exactly heal + 1 ns: the lost copy left no clamp debt behind.
+        assert_eq!(second.arrival, t(200) + SimDuration::from_nanos(1));
+        assert_eq!(h.lost, 1);
+        assert_eq!(h.held, 1);
+    }
+
+    #[test]
+    fn oneway_partition_cuts_one_direction_only() {
+        let cut = PartitionSpec {
+            at: t(100),
+            until: t(200),
+            group: vec![0],
+            oneway: true,
+        };
+        assert!(cut.severs_directed(ClusterId(0), ClusterId(1)));
+        assert!(!cut.severs_directed(ClusterId(1), ClusterId(0)));
+        let mut h = HostileNet::new(HostileSpec::default(), vec![cut]);
+        // 0 → 1 mid-outage: held to the heal.
+        let o = h.post(t(120), n(0, 0), n(1, 0), t(121));
+        assert!(o.held);
+        assert!(o.arrival > t(200));
+        // 1 → 0 mid-outage: flows.
+        let back = h.post(t(120), n(1, 0), n(0, 0), t(121));
+        assert!(!back.held);
+        assert_eq!(back.arrival, t(121));
+        assert_eq!(h.held, 1);
+    }
+
+    #[test]
+    fn hold_release_cannot_land_inside_a_later_window() {
+        // Regression: with `break` after the first matching window, a
+        // hold's release time (window 1 heal + 1 ns) landed inside window
+        // 2 and was delivered mid-outage. The fixpoint loop re-checks.
+        let cuts = vec![
+            PartitionSpec {
+                at: t(100),
+                until: t(200),
+                group: vec![0],
+                oneway: false,
+            },
+            PartitionSpec {
+                at: t(200),
+                until: t(300),
+                group: vec![0],
+                oneway: false,
+            },
+        ];
+        let mut h = HostileNet::new(HostileSpec::default(), cuts);
+        let o = h.post(t(110), n(0, 0), n(1, 0), t(111));
+        assert!(o.held);
+        assert!(
+            o.arrival > t(300),
+            "released at {:?}, inside the second outage",
+            o.arrival
+        );
+    }
+
+    #[test]
+    fn reordered_message_still_held_and_drained_in_order() {
+        // Regression: a reordered release used to skip the FIFO clamp even
+        // when a partition held it, so it could drain out of send order —
+        // or, with a jitter pushing the arrival past `at`, arrive
+        // mid-outage. Reorder p=1 with a jitter wide enough to jump into
+        // the partition window.
+        let spec = HostileSpec::seeded(77).with_reorder(1.0, SimDuration::from_millis(500));
+        let cut = PartitionSpec {
+            at: t(100),
+            until: t(400),
+            group: vec![0],
+            oneway: false,
+        };
+        let mut h = HostileNet::new(spec, vec![cut]);
+        let mut prev = SimTime::ZERO;
+        for i in 0..50u64 {
+            let o = h.post(t(i), n(0, 0), n(1, 0), t(i + 1));
+            assert!(
+                !(o.arrival >= t(100) && o.arrival < t(400)),
+                "arrival {:?} inside the active cut",
+                o.arrival
+            );
+            if o.held {
+                assert!(o.arrival > prev, "held messages drain in send order");
+                prev = o.arrival;
+            }
+        }
+        assert!(h.held > 0, "jitter should have pushed sends into the cut");
+    }
+
+    #[test]
     fn chance_extremes_draw_nothing_at_zero() {
         let mut a = Mix64::new(5);
         assert!(!a.chance(0.0));
@@ -456,6 +707,7 @@ mod tests {
                 at: t(10),
                 until: t(5),
                 group: vec![0],
+                oneway: false,
             }],
         );
     }

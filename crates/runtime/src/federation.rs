@@ -35,7 +35,7 @@ use crate::report::ReportCollector;
 use crate::shard::{NodeCell, ShardWorker};
 use crossbeam::channel::{self, Receiver, Sender};
 use desim::SimTime;
-use hc3i_core::{AppPayload, NodeEngine, ProtocolConfig};
+use hc3i_core::{AppPayload, NodeEngine, ProtocolConfig, XportConfig};
 use netsim::NodeId;
 use simdriver::RunReport;
 use std::cell::RefCell;
@@ -64,6 +64,12 @@ pub struct RuntimeConfig {
     /// Worker-pool size (`None` = `available_parallelism`, clamped to the
     /// node count).
     pub shards: Option<usize>,
+    /// Host-level reliable transport for inter-cluster traffic
+    /// (retransmission + dedup; see `hc3i_core::xport`). The crossbeam
+    /// channels are already reliable, so this is off by default — enable
+    /// it to mirror a deployment whose WAN can drop packets, or to keep a
+    /// scenario config identical to a lossy simulator run.
+    pub xport: Option<XportConfig>,
 }
 
 impl RuntimeConfig {
@@ -76,6 +82,7 @@ impl RuntimeConfig {
             app_factory: None,
             heartbeat: None,
             shards: None,
+            xport: None,
         }
     }
 
@@ -109,6 +116,19 @@ impl RuntimeConfig {
     /// Fix the worker-pool size (default: `available_parallelism`).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Enable the host-level reliable transport (default tuning) on every
+    /// inter-cluster link.
+    pub fn with_reliable_transport(mut self) -> Self {
+        self.xport = Some(XportConfig::default());
+        self
+    }
+
+    /// Enable the host-level reliable transport with explicit tuning.
+    pub fn with_transport(mut self, xport: XportConfig) -> Self {
+        self.xport = Some(xport);
         self
     }
 }
@@ -293,7 +313,8 @@ impl Federation {
                     events_tx.clone(),
                     epoch,
                     shard_probes,
-                );
+                )
+                .with_xport(cfg.xport);
                 std::thread::Builder::new()
                     .name(format!("hc3i-shard-{s}"))
                     .spawn(move || worker.run())

@@ -22,9 +22,11 @@ use crate::envelope::{Envelope, RtEvent};
 use crate::federation::{Health, NodeFinalState, Routes};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use desim::SimTime;
-use hc3i_core::{Input, NodeEngine, Output, OutputBuf};
+use hc3i_core::{
+    Input, Msg, NodeEngine, Output, OutputBuf, ReceiverChannel, SenderChannel, XportConfig,
+};
 use netsim::NodeId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +46,34 @@ pub(crate) struct NodeCell {
     /// Set by `Envelope::Shutdown`; a stopped node drops every later
     /// envelope, exactly as a joined node thread used to.
     pub(crate) stopped: bool,
+}
+
+/// Host-level reliable-transport state of one shard: sender channels for
+/// the shard's own nodes' outgoing inter-cluster traffic, receiver
+/// channels for what arrives here. Both sides of a directed node pair
+/// live on the pair's respective owning shards, so no state is shared
+/// across workers. Retransmissions are driven by [`ShardWorker::tick`]
+/// against a cached earliest-deadline bound, exactly like the CLC timers.
+pub(crate) struct ShardXport {
+    cfg: XportConfig,
+    /// `(local sender, remote destination)` → sender channel.
+    senders: HashMap<(NodeId, NodeId), SenderChannel>,
+    /// `(remote sender, local destination)` → receiver dedup state.
+    receivers: HashMap<(NodeId, NodeId), ReceiverChannel>,
+    /// Lower bound on the earliest retransmission deadline; `None` when
+    /// nothing is in flight. Maintained like `ShardWorker::next_clc`.
+    next_retry: Option<Instant>,
+}
+
+impl ShardXport {
+    fn new(cfg: XportConfig) -> Self {
+        ShardXport {
+            cfg,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            next_retry: None,
+        }
+    }
 }
 
 pub(crate) struct ShardWorker {
@@ -70,6 +100,9 @@ pub(crate) struct ShardWorker {
     next_clc: Option<Instant>,
     /// Nodes not yet stopped; the worker exits when this reaches zero.
     live: usize,
+    /// Reliable-transport state; `None` leaves the envelope traffic of a
+    /// transport-free federation untouched.
+    xport: Option<ShardXport>,
 }
 
 impl ShardWorker {
@@ -103,7 +136,15 @@ impl ShardWorker {
             work: VecDeque::new(),
             next_clc,
             live,
+            xport: None,
         }
+    }
+
+    /// Enable the reliable transport for this shard's inter-cluster
+    /// traffic (chained at construction; `None` is a no-op).
+    pub(crate) fn with_xport(mut self, cfg: Option<XportConfig>) -> Self {
+        self.xport = cfg.map(ShardXport::new);
+        self
     }
 
     fn now(&self) -> SimTime {
@@ -136,10 +177,14 @@ impl ShardWorker {
             .collect()
     }
 
-    /// Earliest pending timer or probe deadline, if any. O(#probes): the
-    /// CLC side is the cached bound, not a scan.
+    /// Earliest pending timer, probe or retransmission deadline, if any.
+    /// O(#probes): the CLC and transport sides are cached bounds, not
+    /// scans.
     fn next_deadline(&self) -> Option<Instant> {
         let mut next = self.next_clc;
+        if let Some(t) = self.xport.as_ref().and_then(|x| x.next_retry) {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
         for p in &self.probes {
             let t = p.next_deadline();
             next = Some(next.map_or(t, |n| n.min(t)));
@@ -160,9 +205,42 @@ impl ShardWorker {
         if self.next_clc.is_some_and(|t| t <= now) {
             self.fire_due_clcs(now);
         }
+        if self
+            .xport
+            .as_ref()
+            .is_some_and(|x| x.next_retry.is_some_and(|t| t <= now))
+        {
+            self.retransmit_due();
+        }
         for i in 0..self.probes.len() {
             self.probes[i].tick(now, &self.routes, &self.health);
         }
+    }
+
+    /// Put every overdue in-flight copy back on the wire and refresh the
+    /// cached retransmission bound to the exact minimum.
+    fn retransmit_due(&mut self) {
+        let now = self.now();
+        let mut next: Option<SimTime> = None;
+        let Some(x) = self.xport.as_mut() else { return };
+        for (&(from, to), ch) in x.senders.iter_mut() {
+            for (seq, msg) in ch.due(now, &x.cfg) {
+                let _ = self.routes.send(
+                    to,
+                    Envelope::Net {
+                        from,
+                        msg: Msg::Reliable {
+                            seq,
+                            inner: Box::new(msg),
+                        },
+                    },
+                );
+            }
+            if let Some(d) = ch.next_deadline() {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        x.next_retry = next.map(|t| self.epoch + Duration::from_nanos(t.0));
     }
 
     fn fire_due_clcs(&mut self, now: Instant) {
@@ -204,6 +282,44 @@ impl ShardWorker {
             return;
         }
         let input = match env {
+            // Transport frames terminate at the shard: engines never see
+            // `Reliable` wrappers or `XportAck`s.
+            Envelope::Net {
+                from,
+                msg: Msg::Reliable { seq, inner },
+            } if self.xport.is_some() => {
+                let me = self.nodes[slot].id;
+                let fresh = self
+                    .xport
+                    .as_mut()
+                    .expect("checked above")
+                    .receivers
+                    .entry((from, me))
+                    .or_default()
+                    .accept(seq);
+                // The shard acks every copy it sees — even for a
+                // fail-stopped engine, so the sender's window drains; a
+                // dead node's lost deliveries are the protocol's problem
+                // (sender logging + replay), not the transport's.
+                let _ = self.routes.send(
+                    from,
+                    Envelope::Net {
+                        from: me,
+                        msg: Msg::XportAck { seq },
+                    },
+                );
+                if !fresh {
+                    return;
+                }
+                Input::Receive { from, msg: *inner }
+            }
+            Envelope::Net {
+                from,
+                msg: Msg::XportAck { seq },
+            } if self.xport.is_some() => {
+                self.process_ack(slot, from, seq);
+                return;
+            }
             Envelope::Net { from, msg } => Input::Receive { from, msg },
             Envelope::AppSend { to, payload } => Input::AppSend { to, payload },
             Envelope::ClcNow => Input::ClcTimer,
@@ -226,6 +342,65 @@ impl ShardWorker {
             }
         };
         self.input(slot, input);
+    }
+
+    /// Cancel an acked in-flight copy and put any window-released queued
+    /// messages on the wire. The ack's receiver is the original sender,
+    /// so the channel is keyed `(this node, acking peer)`.
+    fn process_ack(&mut self, slot: usize, from: NodeId, seq: u64) {
+        let me = self.nodes[slot].id;
+        let now = self.now();
+        let Some(x) = self.xport.as_mut() else { return };
+        let Some(ch) = x.senders.get_mut(&(me, from)) else {
+            return;
+        };
+        let released = ch.ack(now, &x.cfg, seq);
+        let deadline = ch.next_deadline();
+        for (seq, msg) in released {
+            let _ = self.routes.send(
+                from,
+                Envelope::Net {
+                    from: me,
+                    msg: Msg::Reliable {
+                        seq,
+                        inner: Box::new(msg),
+                    },
+                },
+            );
+        }
+        if let Some(d) = deadline {
+            let at = self.epoch + Duration::from_nanos(d.0);
+            x.next_retry = Some(x.next_retry.map_or(at, |n| n.min(at)));
+        }
+    }
+
+    /// Detour one inter-cluster send through the reliable transport:
+    /// assign a sequence, keep the copy in flight, wrap it in
+    /// [`Msg::Reliable`] and arm the retransmission bound.
+    fn xport_send(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        let now = self.now();
+        let Some(x) = self.xport.as_mut() else { return };
+        let ch = x.senders.entry((from, to)).or_default();
+        let Some(seq) = ch.send(now, &x.cfg, msg.clone()) else {
+            // Window full: the channel parked the copy; it enters the
+            // wire from an ack's released batch.
+            return;
+        };
+        let deadline = ch.deadline(seq);
+        let _ = self.routes.send(
+            to,
+            Envelope::Net {
+                from,
+                msg: Msg::Reliable {
+                    seq,
+                    inner: Box::new(msg),
+                },
+            },
+        );
+        if let Some(d) = deadline {
+            let at = self.epoch + Duration::from_nanos(d.0);
+            x.next_retry = Some(x.next_retry.map_or(at, |n| n.min(at)));
+        }
     }
 
     /// Feed one input to a node's engine, perform everything it emits, and
@@ -251,8 +426,13 @@ impl ShardWorker {
             let id = self.nodes[slot].id;
             match out {
                 Output::Send { to, msg } => {
-                    // A vanished route only happens at shutdown; drop then.
-                    let _ = self.routes.send(to, Envelope::Net { from: id, msg });
+                    if self.xport.is_some() && to.cluster != id.cluster {
+                        self.xport_send(id, to, msg);
+                    } else {
+                        // A vanished route only happens at shutdown; drop
+                        // then.
+                        let _ = self.routes.send(to, Envelope::Net { from: id, msg });
+                    }
                 }
                 Output::SendFragments {
                     holders,

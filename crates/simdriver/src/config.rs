@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use desim::{SimDuration, SimTime, TraceLevel};
-use hc3i_core::ProtocolConfig;
+use hc3i_core::{ProtocolConfig, XportConfig};
 use netsim::{ContentionModel, HostileSpec, NodeId, PartitionSpec, Topology};
 use workload::SendEvent;
 
@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// [`run_hostile`](crate::run_hostile). Observation only; the run
     /// itself is unaffected.
     pub track_delivery: bool,
+    /// Host-level reliable transport for inter-cluster traffic
+    /// (retransmission + dedup; see `hc3i_core::xport`). Required for the
+    /// engine's exactly-once assumptions to survive hostile packet loss.
+    /// `None` keeps the wire format and event stream of a run that
+    /// predates the transport.
+    pub xport: Option<XportConfig>,
 }
 
 impl SimConfig {
@@ -85,6 +91,7 @@ impl SimConfig {
             hostile: None,
             partitions: vec![],
             track_delivery: false,
+            xport: None,
         }
     }
 
@@ -158,7 +165,38 @@ impl SimConfig {
     /// Add a scripted cluster partition: the clusters in `group` are cut
     /// off from the rest between `at` and `until`.
     pub fn with_partition(mut self, at: SimTime, until: SimTime, group: Vec<u16>) -> Self {
-        self.partitions.push(PartitionSpec { at, until, group });
+        self.partitions.push(PartitionSpec {
+            at,
+            until,
+            group,
+            oneway: false,
+        });
+        self
+    }
+
+    /// Add an *asymmetric* partition: between `at` and `until`, traffic
+    /// *from* the clusters in `group` to the rest is severed while the
+    /// reverse direction flows.
+    pub fn with_oneway_partition(mut self, at: SimTime, until: SimTime, group: Vec<u16>) -> Self {
+        self.partitions.push(PartitionSpec {
+            at,
+            until,
+            group,
+            oneway: true,
+        });
+        self
+    }
+
+    /// Enable the host-level reliable transport (default tuning) on every
+    /// inter-cluster link.
+    pub fn with_reliable_transport(mut self) -> Self {
+        self.xport = Some(XportConfig::default());
+        self
+    }
+
+    /// Enable the host-level reliable transport with explicit tuning.
+    pub fn with_transport(mut self, xport: XportConfig) -> Self {
+        self.xport = Some(xport);
         self
     }
 

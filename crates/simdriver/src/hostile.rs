@@ -89,6 +89,11 @@ pub struct HostileRunStats {
     pub duplicates_injected: u64,
     /// Messages released from FIFO order.
     pub messages_reordered: u64,
+    /// Messages that vanished on the wire (loss model; retransmitted
+    /// copies that are lost count individually).
+    pub messages_lost: u64,
+    /// Copies put back on the wire by the reliable transport.
+    pub retransmissions: u64,
     /// The delivery ledger, present when
     /// [`SimConfig::with_delivery_ledger`](crate::SimConfig::with_delivery_ledger)
     /// was set.

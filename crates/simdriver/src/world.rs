@@ -4,8 +4,9 @@ use crate::config::SimConfig;
 use crate::hostile::HostileRunStats;
 use crate::report::{ClusterStats, RunReport};
 use desim::{Ctx, EventKey, SimTime, TraceLevel, Tracer, World};
-use hc3i_core::{Input, Msg, NodeEngine, Output, OutputBuf};
+use hc3i_core::{Input, Msg, NodeEngine, Output, OutputBuf, ReceiverChannel, SenderChannel};
 use netsim::{HostileNet, Network, NodeId};
+use std::collections::HashMap;
 
 /// Events of the federation world.
 #[derive(Debug, Clone)]
@@ -68,8 +69,45 @@ pub enum Ev {
         /// Index into [`SimConfig::partitions`].
         index: usize,
     },
+    /// A reliable-transport retransmission timer fires for one in-flight
+    /// copy of the directed channel `from → to`. Stale firings (the copy
+    /// was acked, or an earlier event already retransmitted and re-armed)
+    /// are no-ops, so acks never need to cancel timers.
+    XportRetry {
+        /// Sending node of the channel.
+        from: NodeId,
+        /// Receiving node of the channel.
+        to: NodeId,
+        /// Transport sequence of the copy.
+        seq: u64,
+    },
     /// End of the simulated application.
     End,
+}
+
+/// Host-level reliable-transport state of the whole federation: one
+/// sender and one receiver channel per *directed* node pair that has
+/// carried inter-cluster traffic. Keyed access only (never iterated), so
+/// the hash map cannot perturb determinism.
+pub(crate) struct XportState {
+    cfg: hc3i_core::XportConfig,
+    senders: HashMap<(NodeId, NodeId), SenderChannel>,
+    receivers: HashMap<(NodeId, NodeId), ReceiverChannel>,
+}
+
+impl XportState {
+    fn new(cfg: hc3i_core::XportConfig) -> Self {
+        XportState {
+            cfg,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+        }
+    }
+
+    /// Total retransmitted copies across all channels.
+    fn retransmissions(&self) -> u64 {
+        self.senders.values().map(|s| s.retransmissions).sum()
+    }
 }
 
 /// The federation: engines + network + statistics.
@@ -109,6 +147,9 @@ pub struct FederationWorld {
     /// Side statistics of the hostile run (never part of the fingerprinted
     /// [`RunReport`]).
     pub(crate) hostile_stats: HostileRunStats,
+    /// Reliable transport; `None` keeps the wire and event stream of a
+    /// transport-free run byte-identical.
+    pub(crate) xport: Option<XportState>,
 }
 
 impl FederationWorld {
@@ -158,6 +199,7 @@ impl FederationWorld {
             ..Default::default()
         };
         let failed = vec![false; engines.len()];
+        let xport = cfg.xport.map(XportState::new);
         FederationWorld {
             cfg,
             engines,
@@ -171,6 +213,7 @@ impl FederationWorld {
             out_buf: OutputBuf::new(),
             hostile,
             hostile_stats,
+            xport,
         }
     }
 
@@ -199,21 +242,91 @@ impl FederationWorld {
         self.out_buf = buf;
     }
 
-    /// Charge one outgoing message to the network model and schedule its
-    /// delivery. The single path every engine send goes through — plain
-    /// sends and expanded fragment fan-out batches alike — so accounting
-    /// and tracing cannot diverge between them.
+    /// Dispatch one outgoing engine message. With the reliable transport
+    /// enabled, inter-cluster traffic detours through the sender channel
+    /// (sequence assignment, bounded window, retransmit timer) and enters
+    /// the wire wrapped in [`Msg::Reliable`]; everything else goes
+    /// straight to [`Self::ship_wire`].
     fn ship(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, to: NodeId, msg: Msg) {
+        let reliable = self.xport.is_some() && source.cluster != to.cluster;
+        if !reliable {
+            self.ship_wire(ctx, source, to, msg);
+            return;
+        }
+        let x = self.xport.as_mut().expect("checked above");
+        let seq = x
+            .senders
+            .entry((source, to))
+            .or_default()
+            .send(ctx.now(), &x.cfg, msg.clone());
+        // `None` = window full: the channel parked the copy; it enters
+        // the wire from an ack's released batch.
+        if let Some(seq) = seq {
+            self.ship_reliable(ctx, source, to, seq, msg);
+        }
+    }
+
+    /// Put one transport-wrapped copy on the wire and arm its
+    /// retransmission timer at the channel's current deadline.
+    fn ship_reliable(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        source: NodeId,
+        to: NodeId,
+        seq: u64,
+        msg: Msg,
+    ) {
+        let deadline = self
+            .xport
+            .as_ref()
+            .and_then(|x| x.senders.get(&(source, to)))
+            .and_then(|ch| ch.deadline(seq));
+        self.ship_wire(
+            ctx,
+            source,
+            to,
+            Msg::Reliable {
+                seq,
+                inner: Box::new(msg),
+            },
+        );
+        if let Some(at) = deadline {
+            ctx.schedule_at(
+                at,
+                Ev::XportRetry {
+                    from: source,
+                    to,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Charge one outgoing message to the network model and schedule its
+    /// delivery. The single path every wire copy goes through — plain
+    /// sends, expanded fragment fan-out batches, transport wraps, acks
+    /// and retransmissions alike — so accounting and tracing cannot
+    /// diverge between them.
+    fn ship_wire(&mut self, ctx: &mut Ctx<'_, Ev>, source: NodeId, to: NodeId, msg: Msg) {
         let bytes = msg.wire_bytes(&self.cfg.protocol);
         let class = msg.class();
         let mut arrival = self.net.send(ctx.now(), source, to, bytes, class);
         // Hostile post-processing happens after the base network committed
         // its timing and accounting: skew/hold/reorder shift only the
-        // delivery event, and a duplicate copy is a ghost the network
-        // never charges for.
+        // delivery event, a duplicate copy is a ghost the network never
+        // charges for, and a lost message was charged but never arrives.
         let mut duplicate_at = None;
         if let Some(h) = self.hostile.as_mut() {
             let outcome = h.post(ctx.now(), source, to, arrival);
+            if outcome.lost {
+                self.hostile_stats.messages_lost += 1;
+                if self.tracer.enabled(TraceLevel::Full) {
+                    self.tracer.full(ctx.now(), "net", || {
+                        format!("{source} -> {to}: {msg:?} ({bytes} B, LOST)")
+                    });
+                }
+                return;
+            }
             arrival = outcome.arrival;
             duplicate_at = outcome.duplicate;
         }
@@ -408,6 +521,12 @@ impl FederationWorld {
             self.hostile_stats.messages_held = h.held;
             self.hostile_stats.duplicates_injected = h.duplicates;
             self.hostile_stats.messages_reordered = h.reordered;
+            // `messages_lost` is counted at the ship site (per wire copy,
+            // retransmissions included), which matches `h.lost` exactly.
+            debug_assert_eq!(self.hostile_stats.messages_lost, h.lost);
+        }
+        if let Some(x) = self.xport.as_ref() {
+            self.hostile_stats.retransmissions = x.retransmissions();
         }
         self.hostile_stats.clone()
     }
@@ -447,9 +566,44 @@ impl World for FederationWorld {
                     },
                 );
             }
-            Ev::Deliver { from, to, msg } => {
-                self.handle_engine(ctx, to, Input::Receive { from, msg });
-            }
+            Ev::Deliver { from, to, msg } => match msg {
+                // Transport frames terminate at the host: engines never
+                // see `Reliable` wrappers or `XportAck`s.
+                Msg::Reliable { seq, inner } if self.xport.is_some() => {
+                    let fresh = self
+                        .xport
+                        .as_mut()
+                        .expect("checked above")
+                        .receivers
+                        .entry((from, to))
+                        .or_default()
+                        .accept(seq);
+                    // The host acks every copy it sees — even for a failed
+                    // engine, so the sender's window drains; a dead node's
+                    // lost deliveries are the protocol's problem (sender
+                    // logging + replay), not the transport's.
+                    self.ship_wire(ctx, to, from, Msg::XportAck { seq });
+                    if fresh {
+                        self.handle_engine(ctx, to, Input::Receive { from, msg: *inner });
+                    }
+                }
+                Msg::XportAck { seq } if self.xport.is_some() => {
+                    // The ack travels receiver → sender, so the sender
+                    // channel it cancels is keyed (to, from).
+                    let released = {
+                        let x = self.xport.as_mut().expect("checked above");
+                        let cfg = x.cfg;
+                        x.senders
+                            .get_mut(&(to, from))
+                            .map(|ch| ch.ack(ctx.now(), &cfg, seq))
+                            .unwrap_or_default()
+                    };
+                    for (rseq, rmsg) in released {
+                        self.ship_reliable(ctx, to, from, rseq, rmsg);
+                    }
+                }
+                msg => self.handle_engine(ctx, to, Input::Receive { from, msg }),
+            },
             Ev::ClcTimer { cluster } => {
                 self.clc_timer_keys[cluster] = None;
                 let coord = NodeId::new(cluster as u16, 0);
@@ -549,6 +703,26 @@ impl World for FederationWorld {
                 if self.tracer.enabled(TraceLevel::Protocol) {
                     self.tracer
                         .protocol(ctx.now(), "partition", || format!("cut {index} healed"));
+                }
+            }
+            Ev::XportRetry { from, to, seq } => {
+                let retrans = self.xport.as_mut().and_then(|x| {
+                    let cfg = x.cfg;
+                    x.senders
+                        .get_mut(&(from, to))
+                        .and_then(|ch| ch.retransmit(ctx.now(), &cfg, seq))
+                });
+                if let Some((msg, next)) = retrans {
+                    self.ship_wire(
+                        ctx,
+                        from,
+                        to,
+                        Msg::Reliable {
+                            seq,
+                            inner: Box::new(msg),
+                        },
+                    );
+                    ctx.schedule_at(next, Ev::XportRetry { from, to, seq });
                 }
             }
             Ev::End => ctx.stop(),

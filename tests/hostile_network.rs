@@ -40,6 +40,13 @@ struct Schedule {
     reorder_pct: u32,
     /// Partition window `(start_min, len_min)` cutting cluster 0 off.
     partition: Option<(u64, u64)>,
+    /// Asymmetric cut: only cluster 0's egress is severed; its ingress
+    /// flows throughout the window.
+    oneway: bool,
+    /// Inter-cluster packet-loss probability in percent. Non-zero loss
+    /// enables the host-level reliable transport — without it, a lossy
+    /// wire genuinely loses committed work.
+    loss_pct: u32,
     /// Whether node (0, 1) fails at minute 7.
     fault: bool,
 }
@@ -51,13 +58,18 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
         0u32..=50,
         (any::<bool>(), 2u64..=6, 1u64..=2),
         any::<bool>(),
+        // The issue's loss sweep: off, 1%, 10%, and an even-odds wire.
+        prop_oneof![Just(0u32), Just(1), Just(10), Just(50)],
+        any::<bool>(),
     )
         .prop_map(
-            |(seed, dup_pct, reorder_pct, (cut, at, len), fault)| Schedule {
+            |(seed, dup_pct, reorder_pct, (cut, at, len), oneway, loss_pct, fault)| Schedule {
                 seed,
                 dup_pct,
                 reorder_pct,
                 partition: cut.then_some((at, len)),
+                oneway,
+                loss_pct,
                 fault,
             },
         )
@@ -73,7 +85,8 @@ fn build_config(s: &Schedule) -> SimConfig {
     .schedule(&RngStreams::new(s.seed));
     let spec = HostileSpec::seeded(s.seed ^ 0xB057)
         .with_duplication(s.dup_pct as f64 / 100.0, SimDuration::from_millis(1))
-        .with_reorder(s.reorder_pct as f64 / 100.0, SimDuration::from_micros(500));
+        .with_reorder(s.reorder_pct as f64 / 100.0, SimDuration::from_micros(500))
+        .with_loss(s.loss_pct as f64 / 100.0);
     let mut cfg = SimConfig::new(small_topology(), SimDuration::from_minutes(10))
         .with_sends(sends)
         .with_seed(s.seed)
@@ -81,8 +94,15 @@ fn build_config(s: &Schedule) -> SimConfig {
         .with_clc_delay(1, SimDuration::from_minutes(1))
         .with_hostile(spec)
         .with_delivery_ledger();
+    if s.loss_pct > 0 {
+        cfg = cfg.with_reliable_transport();
+    }
     if let Some((at, len)) = s.partition {
-        cfg = cfg.with_partition(minutes(at), minutes(at + len), vec![0]);
+        cfg = if s.oneway {
+            cfg.with_oneway_partition(minutes(at), minutes(at + len), vec![0])
+        } else {
+            cfg.with_partition(minutes(at), minutes(at + len), vec![0])
+        };
     }
     if s.fault {
         cfg = cfg.with_fault(minutes(7), NodeId::new(0, 1));
@@ -134,6 +154,8 @@ proptest! {
         prop_assert_eq!(ha.duplicates_injected, hb.duplicates_injected);
         prop_assert_eq!(ha.messages_held, hb.messages_held);
         prop_assert_eq!(ha.messages_reordered, hb.messages_reordered);
+        prop_assert_eq!(ha.messages_lost, hb.messages_lost);
+        prop_assert_eq!(ha.retransmissions, hb.retransmissions);
         prop_assert_eq!(
             ha.ledger.as_ref().map(|l| l.delivered_tags()),
             hb.ledger.as_ref().map(|l| l.delivered_tags())
@@ -193,5 +215,54 @@ fn full_duplication_changes_nothing_but_acks() {
         "more than one extra ack per duplicated delivery: {} vs {}",
         dup.ack_messages,
         baseline.ack_messages
+    );
+}
+
+/// A wire that drops half of all inter-cluster traffic, with the reliable
+/// transport restoring exactly-once delivery underneath the engines:
+/// every workload tag still arrives, no tag arrives twice in one
+/// incarnation, and the protocol outcome (checkpoints, deliveries) is
+/// identical to a loss-free run — only retransmissions and acks grow.
+#[test]
+fn half_lossy_wire_with_transport_delivers_everything() {
+    let base_cfg = || {
+        let sends = TargetCountWorkload {
+            cluster_sizes: vec![4, 4],
+            duration: SimDuration::from_minutes(8),
+            counts: vec![vec![10, 6], vec![6, 10]],
+            payload_bytes: 256,
+        }
+        .schedule(&RngStreams::new(20040426));
+        SimConfig::new(small_topology(), SimDuration::from_minutes(10))
+            .with_sends(sends)
+            .with_seed(20040426)
+            .with_clc_delay(0, SimDuration::from_minutes(1))
+            .with_clc_delay(1, SimDuration::from_minutes(1))
+            .with_delivery_ledger()
+    };
+    let (baseline, _) = simdriver::run_hostile(base_cfg());
+    let (report, hostile) = simdriver::run_hostile(
+        base_cfg()
+            .with_hostile(HostileSpec::seeded(0xB057).with_loss(0.5))
+            .with_reliable_transport(),
+    );
+    assert!(hostile.messages_lost > 0, "a 50% wire must drop something");
+    assert!(
+        hostile.retransmissions > 0,
+        "loss must force retransmission"
+    );
+    invariants::assert_clean(
+        [
+            invariants::soundness(&report),
+            invariants::no_lost_committed_work(&hostile),
+            invariants::delivered_record_consistency(&hostile),
+        ]
+        .concat(),
+    );
+    let ledger = hostile.ledger.as_ref().expect("ledger enabled");
+    assert_eq!(ledger.undelivered(), Vec::<u64>::new());
+    assert_eq!(
+        baseline.app_delivered, report.app_delivered,
+        "application deliveries must be loss-blind under the transport"
     );
 }
