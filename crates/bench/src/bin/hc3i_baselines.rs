@@ -199,6 +199,80 @@ fn runtime_wave(msgs: u64) -> u64 {
     msgs
 }
 
+/// Build the segment log the `recovery_from_disk` entry replays: a
+/// 2048-node federation image (128 clusters x 16 nodes, 12 CLCs per
+/// node) with growing delivery records and ring-dependent DDVs, written
+/// with manual sync so image construction stays outside the timed
+/// region. Single segment (~25 MiB of v2 delta-encoded commit frames) —
+/// what a durable run leaves behind at steady state.
+fn build_recovery_image(dir: &std::path::Path) {
+    use hc3i_core::{AppPayload, CheckpointCodec, Ddv, DeliveredRecord, NodeCheckpoint, SeqNum};
+    use storage::{ClcMeta, DurableOptions, DurableStore, SyncPolicy};
+
+    const CLUSTERS: usize = 128;
+    const NODES: u64 = 16;
+    const CLCS: u64 = 12;
+    let _ = std::fs::remove_dir_all(dir);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Manual,
+        compact_bytes: None,
+    };
+    let mut log = DurableStore::open(dir, CheckpointCodec, opts).expect("open image dir");
+    for c in 0..CLUSTERS as u64 {
+        for r in 0..NODES {
+            let node = c * NODES + r;
+            let mut delivered = DeliveredRecord::new();
+            for k in 1..=CLCS {
+                // One new inter-cluster delivery per CLC, so the v2 delta
+                // codec sees the growing-record shape real runs produce.
+                delivered.insert(
+                    (
+                        NodeId::new(((c as usize + 1) % CLUSTERS) as u16, r as u32),
+                        k,
+                    ),
+                    SeqNum(k),
+                );
+                let mut ddv = Ddv::zeros(CLUSTERS);
+                ddv.set(c as usize, SeqNum(k));
+                ddv.set(
+                    (c as usize + CLUSTERS - 1) % CLUSTERS,
+                    SeqNum(k.saturating_sub(1)),
+                );
+                let meta = ClcMeta {
+                    sn: SeqNum(k),
+                    ddv: std::sync::Arc::new(ddv),
+                    committed_at: SimTime(k),
+                    forced: false,
+                };
+                let payload = NodeCheckpoint {
+                    delivered: delivered.clone(),
+                    channel_state: vec![(
+                        NodeId::new(c as u16, (r as u32 + 1) % NODES as u32),
+                        AppPayload {
+                            bytes: 256,
+                            tag: node * CLCS + k,
+                        },
+                    )],
+                    app_state: None,
+                };
+                log.append_commit(node, &meta, &payload)
+                    .expect("append CLC");
+            }
+        }
+    }
+    log.sync().expect("sync image");
+}
+
+/// The timed half: replay the image — segment scan, per-frame CRC
+/// checks, delta decode, chain validation and rebuild. "Events" is
+/// recovered CLC entries.
+fn recovery_from_disk(dir: &std::path::Path) -> u64 {
+    let image = storage::recover(dir, &hc3i_core::CheckpointCodec).expect("recover image");
+    assert!(image.torn.is_none(), "committed image has no torn tail");
+    assert_eq!(image.stores.len(), 2048, "every node chain recovered");
+    image.total_entries()
+}
+
 /// Same-run machine-speed calibration: a fixed workload whose cost
 /// depends only on the host, never on repo code. Every artifact records
 /// it alongside the real entries, so the regression gate can compare
@@ -443,6 +517,25 @@ fn run_suite(quick: bool, seed: u64) -> Vec<Entry> {
         || clc_commit_micro(ckpt_deliveries, ckpt_commits),
     ));
 
+    // The crash-recovery data plane: rebuild 2048 node chains from a
+    // committed segment log. The image is built once, outside the timed
+    // region (manual sync, single segment); every rep replays the same
+    // on-disk bytes, so the entry isolates `storage::recover` — the cost
+    // a federation pays between a hard kill and serving again. Same image
+    // in --quick mode: gated on entries/s against full-mode baselines.
+    let recovery_dir =
+        std::env::temp_dir().join(format!("hc3i-bench-recovery-{}", std::process::id()));
+    eprintln!("building recovery image (2048 nodes x 12 CLCs)…");
+    build_recovery_image(&recovery_dir);
+    eprintln!("timing recovery_from_disk…");
+    entries.push(entry(
+        "recovery_from_disk",
+        "durable-log recovery: 2048-node (128x16) segment log replayed to CLC chains (entries, entries/s)",
+        gated_reps,
+        || recovery_from_disk(&recovery_dir),
+    ));
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+
     // North-star smoke: a 100-cluster federation runs to completion.
     let wide = if quick { (32usize, 1u64) } else { (100, 2) };
     eprintln!("timing scaling_wide ({} clusters)…", wide.0);
@@ -637,8 +730,8 @@ fn parse_old(json: &str) -> Vec<OldEntry> {
 /// Entries the CI regression gate protects: the sharded-runtime and channel
 /// hot paths, the simulator event loop, the figure-regeneration sweep, the
 /// checkpoint/GC data-plane micros (zero-clone GC stamp lists +
-/// copy-on-write CLC staging), and the calendar-queue scale sweep. Two
-/// entries are deliberately absent: `calibration` (it is the normalizer,
+/// copy-on-write CLC staging), the durable-log recovery replay, and the
+/// calendar-queue scale sweep. Two entries are deliberately absent: `calibration` (it is the normalizer,
 /// not a measurement of repo code) and `scaling_mega` (a single rep
 /// lasting seconds samples so much ambient load that its rate swings >2x
 /// between identical runs on a busy host; its gate is the wall-clock
@@ -650,6 +743,7 @@ fn gated(name: &str) -> bool {
         || name == "channel_throughput"
         || name == "gc_round"
         || name == "clc_commit"
+        || name == "recovery_from_disk"
         || name == "figure_regen_figure6"
         || name == "scaling_100_clusters"
 }

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("sample-configs") => cmd_sample(&args[1..]),
         _ => {
             eprint!("{USAGE}");
@@ -44,8 +45,10 @@ usage:
            [--seed N] [--fault MIN:CLUSTER:RANK]... [--full-ddv]
            [--contention none|fifo] [--replication N]
            [--trace protocol|full] [--trace-file PATH]
+           [--durable-dir DIR [--durable-crash-after N]]
            [--runtime [--shards N]]
   hc3i-sim campaign [--json PATH] [--seeds N,N,...]
+  hc3i-sim recover --durable-dir DIR [--verify-prefix-of DIR]
   hc3i-sim sample-configs DIR
 
 flags:
@@ -63,10 +66,25 @@ flags:
                      the workload drains, and gc_timer maps to one final
                      collection)
   --shards N         worker-pool size for --runtime (default: all cores)
+  --durable-dir DIR  mirror every node's CLC store to an on-disk segment
+                     log under DIR (must not already hold one); a
+                     hard-killed run recovers via `hc3i-sim recover`
+  --durable-crash-after N
+                     abort the process (simulated power loss) once N
+                     commit frames are durable (simulator-only; for
+                     crash-consistency testing)
 
 campaign flags:
   --json PATH        write the deterministic JSON summary to PATH
   --seeds N,N,...    override the default seed set (20040426,7,424242)
+
+recover flags:
+  --durable-dir DIR  the segment-log directory to scan (read-only)
+  --verify-prefix-of DIR
+                     also recover DIR and require every node chain of the
+                     first image to be a prefix of its chain there (the
+                     crash-consistency check for fault-free runs: a
+                     killed run's durable state vs its uninterrupted twin)
 ";
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -82,11 +100,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut replication: Option<u32> = None;
     let mut live_runtime = false;
     let mut shards: Option<usize> = None;
+    let mut durable_dir: Option<String> = None;
+    let mut durable_crash_after: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--runtime" => live_runtime = true,
+            "--durable-dir" => {
+                durable_dir = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage_error("--durable-dir needs a directory"),
+                }
+            }
+            "--durable-crash-after" => {
+                durable_crash_after = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(0) => return usage_error("--durable-crash-after needs a count >= 1"),
+                    Some(n) => Some(n),
+                    None => return usage_error("--durable-crash-after needs an integer"),
+                }
+            }
             "--shards" => {
                 shards = match it.next().and_then(|s| s.parse().ok()) {
                     Some(0) => return usage_error("--shards needs a pool size >= 1"),
@@ -165,9 +198,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if contention != ContentionModel::Unlimited {
             return usage_error("--contention is simulator-only");
         }
+        if durable_crash_after.is_some() {
+            return usage_error("--durable-crash-after is simulator-only");
+        }
     }
     if shards.is_some() && !live_runtime {
         return usage_error("--shards requires --runtime");
+    }
+    if durable_crash_after.is_some() && durable_dir.is_none() {
+        return usage_error("--durable-crash-after requires --durable-dir");
     }
 
     // A trace file without an explicit level would silently be empty;
@@ -196,7 +235,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             protocol = protocol.with_replication(ReplicationPolicy::with_degree(degree));
         }
         if live_runtime {
-            let report = run_live(&app.cluster_sizes, protocol, &sends, &timer_spec, shards)?;
+            let report = run_live(
+                &app.cluster_sizes,
+                protocol,
+                &sends,
+                &timer_spec,
+                shards,
+                durable_dir.as_deref(),
+            )?;
             println!("== live substrate (sharded runtime) ==");
             print_report(&report);
             return Ok(());
@@ -205,6 +251,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
             .with_sends(sends)
             .with_seed(seed)
             .with_protocol(protocol);
+        if let Some(dir) = &durable_dir {
+            cfg = cfg.with_durable_dir(dir);
+        }
+        if let Some(n) = durable_crash_after {
+            cfg = cfg.with_durable_crash_after(n);
+        }
         cfg.contention = contention;
         cfg.detection_delay = timer_spec.detection_delay;
         for (c, d) in timer_spec.clc_delays.iter().enumerate() {
@@ -269,6 +321,7 @@ fn run_live(
     sends: &[workload::SendEvent],
     timer_spec: &workload::TimerSpec,
     shards: Option<usize>,
+    durable_dir: Option<&str>,
 ) -> Result<runtime::RunReport, String> {
     use runtime::{Federation, RtEvent, RuntimeConfig};
     use std::time::Duration;
@@ -278,6 +331,9 @@ fn run_live(
     let mut cfg = RuntimeConfig::manual(cluster_sizes.to_vec()).with_protocol(protocol);
     if let Some(s) = shards {
         cfg = cfg.with_shards(s);
+    }
+    if let Some(dir) = durable_dir {
+        cfg = cfg.with_durable_dir(dir);
     }
     let fed = Federation::spawn(cfg);
     eprintln!(
@@ -414,6 +470,119 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             summary.cells.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// `hc3i-sim recover`: scan a durable segment log read-only, rebuild every
+/// node's CLC chain to the last durable checkpoint, and print a
+/// deterministic per-node summary. With `--verify-prefix-of`, a second
+/// image is recovered and every node chain of the first must be a prefix
+/// of its counterpart there — the crash-consistency check for fault-free
+/// runs, where a killed run's durable state can only trail (never diverge
+/// from) its uninterrupted twin.
+fn cmd_recover(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut reference: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--durable-dir" => match it.next() {
+                Some(p) => dir = Some(p.clone()),
+                None => return usage_error("--durable-dir needs a directory"),
+            },
+            "--verify-prefix-of" => match it.next() {
+                Some(p) => reference = Some(p.clone()),
+                None => return usage_error("--verify-prefix-of needs a directory"),
+            },
+            other => return usage_error(&format!("unknown recover flag {other}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage_error("recover needs --durable-dir");
+    };
+
+    let recover_dir = |d: &str| {
+        storage::recover(std::path::Path::new(d), &hc3i_core::CheckpointCodec)
+            .map_err(|e| format!("{d}: {e}"))
+    };
+    let result = (|| -> Result<(), String> {
+        let image = recover_dir(&dir)?;
+        println!("== durable recovery report ==");
+        println!(
+            "segments scanned: {}  frames replayed: {}",
+            image.segments, image.frames
+        );
+        match &image.torn {
+            None => println!("torn tail: none"),
+            Some(t) => println!(
+                "torn tail: segment {} offset {} ({} bytes discarded)",
+                t.segment, t.offset, t.discarded
+            ),
+        }
+        for (node, chain) in image.stores.iter() {
+            let sns: Vec<String> = chain.iter().map(|e| e.meta.sn.to_string()).collect();
+            let (delivered, channel) = chain.latest().map_or((0, 0), |e| {
+                (e.payload.delivered.len(), e.payload.channel_state.len())
+            });
+            println!(
+                "node {node}: {} CLCs, SNs [{}], latest delivered {delivered} channel {channel}",
+                chain.len(),
+                sns.join(" "),
+            );
+        }
+        println!(
+            "total: {} nodes, {} stored CLCs",
+            image.stores.len(),
+            image.total_entries()
+        );
+
+        if let Some(reference) = reference {
+            let full = recover_dir(&reference)?;
+            if image.stores.len() != full.stores.len() {
+                return Err(format!(
+                    "prefix check: node count differs ({} vs {})",
+                    image.stores.len(),
+                    full.stores.len()
+                ));
+            }
+            for (node, chain) in image.stores.iter() {
+                let Some(other) = full.stores.get(node) else {
+                    return Err(format!(
+                        "prefix check: node {node} missing from {reference}"
+                    ));
+                };
+                if chain.len() > other.len() {
+                    return Err(format!(
+                        "prefix check: node {node} has {} CLCs but only {} in {reference}",
+                        chain.len(),
+                        other.len()
+                    ));
+                }
+                for (mine, theirs) in chain.iter().zip(other.iter()) {
+                    if mine.meta != theirs.meta || mine.payload != theirs.payload {
+                        return Err(format!(
+                            "prefix check: node {node} diverges at SN {} (vs SN {})",
+                            mine.meta.sn, theirs.meta.sn
+                        ));
+                    }
+                }
+            }
+            println!(
+                "prefix check: OK ({} CLCs are a prefix of {} in the reference image)",
+                image.total_entries(),
+                full.total_entries()
+            );
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -101,6 +101,22 @@ pub enum Output {
         /// Whether an inter-cluster message forced it.
         forced: bool,
     },
+    /// This node committed a CLC into its local store — emitted by
+    /// **every** node of the cluster (unlike [`Output::Committed`], which
+    /// only the coordinator emits for statistics). The hook a durability
+    /// sink uses to append the freshly committed entry
+    /// (`engine.store().get(sn)`) to its log.
+    StoreCommitted {
+        /// The committed sequence number.
+        sn: SeqNum,
+    },
+    /// Garbage collection shrank this node's local store — emitted by
+    /// every node whose store actually dropped entries (durability hook;
+    /// the coordinator-only [`Output::GcReport`] carries the statistics).
+    StorePruned {
+        /// The safe-minimum bound the store was pruned below.
+        min_sn: SeqNum,
+    },
     /// This node restored the CLC numbered `restore_sn`.
     RolledBack {
         /// Restored sequence number.

@@ -65,6 +65,7 @@ pub use config::{PiggybackMode, ProtocolConfig, WireSizes};
 pub use io::{Input, Output, OutputBuf};
 pub use msg::{AppPayload, ClcReason, Msg, Piggyback};
 pub use node::NodeEngine;
+pub use persist::CheckpointCodec;
 pub use recovery::{is_consistent_cut, recovery_line, recovery_line_multi, RecoveryLine};
 pub use xport::{ReceiverChannel, SenderChannel, XportConfig};
 

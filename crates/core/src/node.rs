@@ -812,6 +812,7 @@ impl NodeEngine {
         // and the new outgoing piggyback — no per-node vector clone.
         self.ddv = ddv;
         self.dirty = true;
+        out.push(Output::StoreCommitted { sn });
         if self.is_coordinator() {
             out.push(Output::Committed { sn, forced });
             out.push(Output::ResetClcTimer);
@@ -1187,8 +1188,12 @@ impl NodeEngine {
 
     fn apply_gc_prune(&mut self, min_sns: &[SeqNum], out: &mut OutputBuf) {
         let before = self.store.len();
-        self.store.prune_below(min_sns[self.my_cluster()]);
+        let min_sn = min_sns[self.my_cluster()];
+        self.store.prune_below(min_sn);
         let after = self.store.len();
+        if after < before {
+            out.push(Output::StorePruned { min_sn });
+        }
         for (c, &min_sn) in min_sns.iter().enumerate() {
             self.log.prune(c, min_sn);
         }

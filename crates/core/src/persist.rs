@@ -252,6 +252,38 @@ fn decode_checkpoint_v2(
     })
 }
 
+/// The v2 checkpoint encoding as a [`storage::EntryCodec`]: what the
+/// durable segment log ([`storage::DurableStore`]) writes per chain entry.
+///
+/// Each entry body is exactly the v2 store-entry body — a structural
+/// delta against the previous chain entry's delivery record when they
+/// share their base, a full record otherwise — so a durable log entry is
+/// byte-identical to the corresponding span of [`encode_store`]'s image.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointCodec;
+
+impl storage::EntryCodec for CheckpointCodec {
+    type Payload = NodeCheckpoint;
+
+    fn encode_payload(&self, payload: &NodeCheckpoint, prev: Option<&NodeCheckpoint>) -> Vec<u8> {
+        encode_checkpoint_v2(payload, prev.map(|p| &p.delivered))
+    }
+
+    fn decode_payload(
+        &self,
+        buf: &[u8],
+        prev: Option<&NodeCheckpoint>,
+    ) -> Result<NodeCheckpoint, String> {
+        let mut pos = 0usize;
+        let ckpt = decode_checkpoint_v2(buf, &mut pos, prev.map(|p| &p.delivered))
+            .map_err(|e| e.to_string())?;
+        if pos != buf.len() {
+            return Err(DecodeError::TrailingBytes(buf.len() - pos).to_string());
+        }
+        Ok(ckpt)
+    }
+}
+
 /// Serialize a whole CLC store (all checkpoints, oldest first) in the
 /// current (v2, copy-on-write) format.
 pub fn encode_store(store: &ClcStore<NodeCheckpoint>) -> Vec<u8> {

@@ -195,6 +195,9 @@ impl InstantFederation {
                     }
                 }
                 Output::ResetClcTimer => {}
+                // Durability hooks: no durable sink under the instant
+                // federation.
+                Output::StoreCommitted { .. } | Output::StorePruned { .. } => {}
                 Output::GcReport { before, after } => {
                     self.gc_reports
                         .push((source.cluster.index(), before, after))

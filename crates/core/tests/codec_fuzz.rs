@@ -345,4 +345,50 @@ proptest! {
         bytes[idx] = new_byte;
         let _ = decode_store(&bytes); // Err or a different store; no panic
     }
+
+    #[test]
+    fn store_decoder_never_panics_on_mutated_v1_images(
+        steps in store_strategy(),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut bytes = encode_store_v1(&build_store(&steps));
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] = new_byte;
+        let _ = decode_store(&bytes); // Err or a different store; no panic
+    }
+
+    // Every strict prefix of a valid image must fail to decode with a
+    // `DecodeError` — the decoder may never panic on missing bytes, and
+    // (because lengths are explicit and trailing bytes are rejected) may
+    // never silently return a shorter-but-valid store either. This is
+    // what the durable segment log leans on when a torn frame slips
+    // past framing: the payload decoder itself detects the cut.
+    #[test]
+    fn prefix_truncation_of_v2_images_always_errors(
+        steps in store_strategy(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_store(&build_store(&steps));
+        let cut = cut_at.index(bytes.len()); // 0..len: a strict prefix
+        prop_assert!(
+            decode_store(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn prefix_truncation_of_v1_images_always_errors(
+        steps in store_strategy(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_store_v1(&build_store(&steps));
+        let cut = cut_at.index(bytes.len());
+        prop_assert!(
+            decode_store(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
 }

@@ -35,15 +35,25 @@ use crate::report::ReportCollector;
 use crate::shard::{NodeCell, ShardWorker};
 use crossbeam::channel::{self, Receiver, Sender};
 use desim::SimTime;
-use hc3i_core::{AppPayload, NodeEngine, ProtocolConfig, XportConfig};
+use hc3i_core::{AppPayload, CheckpointCodec, NodeEngine, ProtocolConfig, XportConfig};
 use netsim::NodeId;
 use simdriver::RunReport;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use storage::{DurableOptions, DurableStore};
+
+/// The shared on-disk segment log of a durable federation: one
+/// [`DurableStore`] guarded by a mutex, appended to by every shard worker.
+/// Per-node frame order is preserved without any cross-shard coordination
+/// beyond the lock — a node lives on exactly one shard, so its commits,
+/// truncations and prunes are appended in the order its engine emitted
+/// them.
+pub(crate) type SharedDurable = Arc<Mutex<DurableStore<CheckpointCodec>>>;
 
 /// Factory producing one application instance per node.
 pub type AppFactory = Arc<dyn Fn(NodeId) -> Box<dyn Application> + Send + Sync>;
@@ -70,6 +80,14 @@ pub struct RuntimeConfig {
     /// it to mirror a deployment whose WAN can drop packets, or to keep a
     /// scenario config identical to a lossy simulator run.
     pub xport: Option<XportConfig>,
+    /// Mirror every node's CLC store to an on-disk segment log under this
+    /// directory (`storage::DurableStore`): commits, rollback truncations
+    /// and GC prunes are appended as checksummed frames, fsync-ed per
+    /// commit, so a hard-killed federation recovers to its last durable
+    /// CLC. The directory must not already hold a segment log. `None`
+    /// (the default) keeps everything in memory; protocol behaviour is
+    /// identical either way.
+    pub durable_dir: Option<PathBuf>,
 }
 
 impl RuntimeConfig {
@@ -83,6 +101,7 @@ impl RuntimeConfig {
             heartbeat: None,
             shards: None,
             xport: None,
+            durable_dir: None,
         }
     }
 
@@ -129,6 +148,13 @@ impl RuntimeConfig {
     /// Enable the host-level reliable transport with explicit tuning.
     pub fn with_transport(mut self, xport: XportConfig) -> Self {
         self.xport = Some(xport);
+        self
+    }
+
+    /// Mirror every node's CLC store to an on-disk segment log under
+    /// `dir` (must not already hold one).
+    pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
         self
     }
 }
@@ -277,6 +303,29 @@ impl Federation {
                 stopped: false,
             });
         }
+        // Open the durable segment log (if configured) and seed it with
+        // every node's genesis CLC — the initial checkpoint is committed
+        // inside `NodeEngine::new`, so it never flows through the
+        // `StoreCommitted` hook.
+        let durable: Option<SharedDurable> = cfg.durable_dir.as_ref().map(|dir| {
+            let mut log = DurableStore::open(dir, CheckpointCodec, DurableOptions::default())
+                .unwrap_or_else(|e| panic!("open durable store at {}: {e}", dir.display()));
+            assert!(
+                log.is_fresh(),
+                "durable dir {} already holds a segment log; recover it or use a fresh directory",
+                dir.display()
+            );
+            for (g, &(shard, slot)) in addr.iter().enumerate() {
+                log.snapshot_node(
+                    g as u64,
+                    cells[shard as usize][slot as usize].engine.store(),
+                )
+                .expect("seed durable genesis");
+            }
+            log.sync().expect("sync durable genesis");
+            Arc::new(Mutex::new(log))
+        });
+
         let routes = Arc::new(Routes {
             offsets: offsets.clone(),
             ids,
@@ -314,7 +363,8 @@ impl Federation {
                     epoch,
                     shard_probes,
                 )
-                .with_xport(cfg.xport);
+                .with_xport(cfg.xport)
+                .with_durable(durable.clone());
                 std::thread::Builder::new()
                     .name(format!("hc3i-shard-{s}"))
                     .spawn(move || worker.run())

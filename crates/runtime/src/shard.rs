@@ -19,7 +19,7 @@
 use crate::app::Application;
 use crate::detector::ClusterProbe;
 use crate::envelope::{Envelope, RtEvent};
-use crate::federation::{Health, NodeFinalState, Routes};
+use crate::federation::{Health, NodeFinalState, Routes, SharedDurable};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use desim::SimTime;
 use hc3i_core::{
@@ -103,6 +103,12 @@ pub(crate) struct ShardWorker {
     /// Reliable-transport state; `None` leaves the envelope traffic of a
     /// transport-free federation untouched.
     xport: Option<ShardXport>,
+    /// The federation's shared on-disk segment log; `None` keeps every
+    /// CLC store in memory only. Appends happen on the engine's
+    /// durability hooks (`StoreCommitted`/`StorePruned`/`RolledBack`),
+    /// under the lock — a node lives on exactly one shard, so its frames
+    /// land in emission order.
+    durable: Option<SharedDurable>,
 }
 
 impl ShardWorker {
@@ -137,6 +143,7 @@ impl ShardWorker {
             next_clc,
             live,
             xport: None,
+            durable: None,
         }
     }
 
@@ -144,6 +151,13 @@ impl ShardWorker {
     /// traffic (chained at construction; `None` is a no-op).
     pub(crate) fn with_xport(mut self, cfg: Option<XportConfig>) -> Self {
         self.xport = cfg.map(ShardXport::new);
+        self
+    }
+
+    /// Attach the federation's shared durable segment log (chained at
+    /// construction; `None` is a no-op).
+    pub(crate) fn with_durable(mut self, durable: Option<SharedDurable>) -> Self {
+        self.durable = durable;
         self
     }
 
@@ -170,6 +184,14 @@ impl ShardWorker {
                 self.handle(slot as usize, env);
             }
             self.tick();
+        }
+        // Commits are fsync-ed as they land ([`storage::SyncPolicy::EveryCommit`]);
+        // flush any trailing truncate/prune frames on the way out.
+        if let Some(d) = &self.durable {
+            d.lock()
+                .expect("durable log lock")
+                .sync()
+                .expect("sync durable log");
         }
         self.nodes
             .into_iter()
@@ -479,6 +501,29 @@ impl ShardWorker {
                         forced,
                     });
                 }
+                Output::StoreCommitted { sn } => {
+                    if let Some(d) = &self.durable {
+                        let cell = &self.nodes[slot];
+                        let entry = cell
+                            .engine
+                            .store()
+                            .get(sn)
+                            .expect("committed CLC is stored");
+                        d.lock()
+                            .expect("durable log lock")
+                            .append_commit(cell.gidx as u64, &entry.meta, &entry.payload)
+                            .expect("durable commit append");
+                    }
+                }
+                Output::StorePruned { min_sn } => {
+                    if let Some(d) = &self.durable {
+                        let gidx = self.nodes[slot].gidx as u64;
+                        d.lock()
+                            .expect("durable log lock")
+                            .append_prune(gidx, min_sn)
+                            .expect("durable prune append");
+                    }
+                }
                 Output::ResetClcTimer => {
                     if let Some(d) = self.nodes[slot].clc_delay {
                         let deadline = Instant::now() + d;
@@ -490,6 +535,13 @@ impl ShardWorker {
                     restore_sn,
                     discarded_clcs,
                 } => {
+                    if let Some(d) = &self.durable {
+                        let gidx = self.nodes[slot].gidx as u64;
+                        d.lock()
+                            .expect("durable log lock")
+                            .append_truncate(gidx, restore_sn)
+                            .expect("durable truncate append");
+                    }
                     let _ = self.events.send(RtEvent::RolledBack {
                         node: id,
                         restore_sn,

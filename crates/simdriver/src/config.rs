@@ -63,6 +63,19 @@ pub struct SimConfig {
     /// `None` keeps the wire format and event stream of a run that
     /// predates the transport.
     pub xport: Option<XportConfig>,
+    /// Mirror every node's CLC store to an on-disk segment log under this
+    /// directory (`storage::DurableStore`): commits, rollback truncations
+    /// and GC prunes are appended as checksummed frames, fsync-ed per
+    /// commit, so a hard-killed run recovers to its last durable CLC. The
+    /// directory must not already hold a segment log. `None` (the
+    /// default) keeps everything in memory; the event stream and report
+    /// fingerprint are identical either way.
+    pub durable_dir: Option<std::path::PathBuf>,
+    /// Crash injection for durability tests: once this many commit frames
+    /// have been appended to the durable log, abort the whole process (no
+    /// flush, no destructors — a simulated power loss at a deterministic
+    /// point). Requires [`SimConfig::durable_dir`].
+    pub durable_crash_after: Option<u64>,
 }
 
 impl SimConfig {
@@ -92,6 +105,8 @@ impl SimConfig {
             partitions: vec![],
             track_delivery: false,
             xport: None,
+            durable_dir: None,
+            durable_crash_after: None,
         }
     }
 
@@ -204,6 +219,20 @@ impl SimConfig {
     /// [`run_hostile`](crate::run_hostile).
     pub fn with_delivery_ledger(mut self) -> Self {
         self.track_delivery = true;
+        self
+    }
+
+    /// Mirror every node's CLC store to an on-disk segment log under
+    /// `dir` (must not already hold one).
+    pub fn with_durable_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Abort the process (simulated power loss) after `commits` durable
+    /// commit frames.
+    pub fn with_durable_crash_after(mut self, commits: u64) -> Self {
+        self.durable_crash_after = Some(commits);
         self
     }
 

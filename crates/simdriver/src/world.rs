@@ -110,6 +110,50 @@ impl XportState {
     }
 }
 
+/// On-disk mirror of every engine's CLC store
+/// ([`SimConfig::durable_dir`]): the engine's durability hooks
+/// (`StoreCommitted`/`StorePruned`/`RolledBack`) are appended to a
+/// [`storage::DurableStore`] keyed by global arena index. Observation
+/// only — the event stream and report fingerprint of a durable run are
+/// identical to an in-memory run.
+pub(crate) struct DurableSink {
+    log: storage::DurableStore<hc3i_core::CheckpointCodec>,
+    /// Abort the process once this many commit frames are durable
+    /// (simulated power loss; see `SimConfig::durable_crash_after`).
+    crash_after: Option<u64>,
+}
+
+impl DurableSink {
+    fn open(dir: &std::path::Path, crash_after: Option<u64>) -> Self {
+        let log = storage::DurableStore::open(
+            dir,
+            hc3i_core::CheckpointCodec,
+            storage::DurableOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("open durable store at {}: {e}", dir.display()));
+        assert!(
+            log.is_fresh(),
+            "durable dir {} already holds a segment log; recover it or use a fresh directory",
+            dir.display()
+        );
+        DurableSink { log, crash_after }
+    }
+
+    fn commit(&mut self, node: u64, entry: &storage::ClcEntry<hc3i_core::NodeCheckpoint>) {
+        self.log
+            .append_commit(node, &entry.meta, &entry.payload)
+            .expect("durable commit append");
+        if self
+            .crash_after
+            .is_some_and(|n| self.log.commit_frames() >= n)
+        {
+            // Simulated power loss: no flush, no destructors. Exactly the
+            // fsync-ed prefix of the log is what recovery will see.
+            std::process::abort();
+        }
+    }
+}
+
 /// The federation: engines + network + statistics.
 ///
 /// Engines live in one flat arena indexed by precomputed per-cluster
@@ -150,6 +194,8 @@ pub struct FederationWorld {
     /// Reliable transport; `None` keeps the wire and event stream of a
     /// transport-free run byte-identical.
     pub(crate) xport: Option<XportState>,
+    /// Durable segment-log mirror; `None` keeps the run fully in memory.
+    pub(crate) durable: Option<DurableSink>,
 }
 
 impl FederationWorld {
@@ -200,6 +246,19 @@ impl FederationWorld {
         };
         let failed = vec![false; engines.len()];
         let xport = cfg.xport.map(XportState::new);
+        let durable = cfg.durable_dir.as_ref().map(|dir| {
+            let mut sink = DurableSink::open(dir, cfg.durable_crash_after);
+            // Seed the log with every node's genesis chain (the initial
+            // CLC is committed inside `NodeEngine::new`, never through
+            // the `StoreCommitted` hook).
+            for (idx, e) in engines.iter().enumerate() {
+                sink.log
+                    .snapshot_node(idx as u64, e.store())
+                    .expect("seed durable genesis");
+            }
+            sink.log.sync().expect("sync durable genesis");
+            sink
+        });
         FederationWorld {
             cfg,
             engines,
@@ -214,6 +273,7 @@ impl FederationWorld {
             hostile,
             hostile_stats,
             xport,
+            durable,
         }
     }
 
@@ -422,10 +482,34 @@ impl FederationWorld {
                         self.clc_timer_keys[cluster] = Some(key);
                     }
                 }
+                Output::StoreCommitted { sn } => {
+                    if let Some(d) = self.durable.as_mut() {
+                        let idx = self.offsets[source.cluster.index()] + source.rank as usize;
+                        let entry = self.engines[idx]
+                            .store()
+                            .get(sn)
+                            .expect("committed CLC is stored");
+                        d.commit(idx as u64, entry);
+                    }
+                }
+                Output::StorePruned { min_sn } => {
+                    if let Some(d) = self.durable.as_mut() {
+                        let idx = self.offsets[source.cluster.index()] + source.rank as usize;
+                        d.log
+                            .append_prune(idx as u64, min_sn)
+                            .expect("durable prune append");
+                    }
+                }
                 Output::RolledBack {
                     restore_sn,
                     discarded_clcs,
                 } => {
+                    if let Some(d) = self.durable.as_mut() {
+                        let idx = self.offsets[source.cluster.index()] + source.rank as usize;
+                        d.log
+                            .append_truncate(idx as u64, restore_sn)
+                            .expect("durable truncate append");
+                    }
                     if source.rank == 0 {
                         let cluster = source.cluster.index();
                         if self.tracer.enabled(TraceLevel::Protocol) {
@@ -485,6 +569,12 @@ impl FederationWorld {
 
     /// Fill in the end-of-run fields of the report.
     pub(crate) fn finalize(&mut self, now: SimTime, events: u64) -> RunReport {
+        // A finished run leaves a fully flushed log (per-commit fsync only
+        // covers commit frames; trailing truncate/prune frames are flushed
+        // here).
+        if let Some(d) = self.durable.as_mut() {
+            d.log.sync().expect("sync durable log");
+        }
         let n = self.cfg.topology.num_clusters();
         for c in 0..n {
             let engines = &self.engines[self.offsets[c]..self.offsets[c + 1]];

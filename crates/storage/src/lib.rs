@@ -25,14 +25,30 @@
 //! vector per stored checkpoint. Sharing is invisible to consumers:
 //! stamps are immutable, compare by value, and serialize by value.
 
+//!
+//! ## Durable backend
+//!
+//! [`DurableStore`] puts these stores on disk: an append-only segment log
+//! of length-prefixed, CRC-checksummed frames with snapshot compaction
+//! and crash-consistent recovery (see [`durable`] for the durability
+//! contract and torn-tail policy). The entry payload encoding is plugged
+//! in from above via [`EntryCodec`], so `hc3i-core` can reuse its
+//! byte-stable v2 checkpoint format without inverting the crate
+//! dependency order.
+
 #![warn(missing_docs)]
 
 pub mod clc_store;
+pub mod durable;
 pub mod log_store;
 pub mod replication;
 pub mod stamp;
 
 pub use clc_store::{ClcEntry, ClcMeta, ClcStore};
+pub use durable::{
+    recover, DurableError, DurableOptions, DurableStore, EntryCodec, Recovered, SyncPolicy,
+    TornTail,
+};
 pub use log_store::{LogEntry, LogId, MessageLog};
 pub use replication::ReplicationPolicy;
 pub use stamp::{Ddv, SeqNum};
