@@ -51,10 +51,15 @@ pub fn soundness(r: &RunReport) -> Vec<String> {
     v
 }
 
-/// Exactly-one-rollback-per-cluster per fault wave: clusters hit directly
-/// roll back exactly once inside the wave's window; all other clusters at
-/// most once (a dependency cascade); and no rollback happens outside any
-/// declared wave. With no waves declared, any rollback is a violation.
+/// Bounded-rollback-per-cluster per fault wave: clusters hit directly
+/// roll back once inside the wave's window, plus at most one cascade-back
+/// — on a lossy wire a dependent cluster's alert can arrive seconds late,
+/// after the direct victim has already committed a fresh CLC and done new
+/// (dirty) work on top of it; the victim then conservatively discards
+/// that work with a second rollback to its newest CLC. All other clusters
+/// roll back at most once (a dependency cascade); and no rollback happens
+/// outside any declared wave. With no waves declared, any rollback is a
+/// violation.
 pub fn rollback_waves(r: &RunReport, waves: &[FaultWave]) -> Vec<String> {
     let mut v = Vec::new();
     for (c, cluster) in r.clusters.iter().enumerate() {
@@ -73,9 +78,9 @@ pub fn rollback_waves(r: &RunReport, waves: &[FaultWave]) -> Vec<String> {
                 })
                 .count();
             if wave.direct.contains(&c) {
-                if count != 1 {
+                if !(1..=2).contains(&count) {
                     v.push(format!(
-                        "cluster {c}: {count} rollbacks in wave {w} (direct hit expects exactly 1)"
+                        "cluster {c}: {count} rollbacks in wave {w} (direct hit expects 1, plus at most one cascade-back)"
                     ));
                 }
             } else if count > 1 {
@@ -238,12 +243,25 @@ mod tests {
         }];
         let v = rollback_waves(&r, &waves);
         assert_eq!(v.len(), 1);
-        assert!(v[0].contains("exactly 1"));
+        assert!(v[0].contains("direct hit expects 1"));
     }
 
     #[test]
-    fn wave_rejects_double_rollback_and_strays() {
-        let r = report_with_rollbacks(vec![vec![20, 21], vec![5]]);
+    fn wave_accepts_direct_hit_with_cascade_back() {
+        // A second rollback at the direct victim (dirty-state cascade-back
+        // after a late dependent alert) is within bounds; a third is not.
+        let r = report_with_rollbacks(vec![vec![20, 22], vec![]]);
+        let waves = [FaultWave {
+            from: t(19),
+            until: t(25),
+            direct: vec![0],
+        }];
+        assert!(rollback_waves(&r, &waves).is_empty());
+    }
+
+    #[test]
+    fn wave_rejects_triple_rollback_and_strays() {
+        let r = report_with_rollbacks(vec![vec![20, 21, 22], vec![5]]);
         let waves = [FaultWave {
             from: t(19),
             until: t(25),
@@ -251,7 +269,7 @@ mod tests {
         }];
         let v = rollback_waves(&r, &waves);
         assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().any(|m| m.contains("exactly 1")));
+        assert!(v.iter().any(|m| m.contains("direct hit expects 1")));
         assert!(v.iter().any(|m| m.contains("outside every declared wave")));
     }
 

@@ -13,6 +13,10 @@ use simdriver::run_hostile;
 pub struct CampaignPlan {
     /// Seeds each scenario × topology cell is run with.
     pub seeds: Vec<u64>,
+    /// Simulator shards each cell runs on. The parallel executive is
+    /// byte-deterministic, so any value reproduces the same golden
+    /// summary — CI runs the campaign at 4 shards to prove exactly that.
+    pub sim_shards: usize,
 }
 
 impl Default for CampaignPlan {
@@ -21,6 +25,7 @@ impl Default for CampaignPlan {
         // but fixed — the golden summary is keyed to them.
         Self {
             seeds: vec![20040426, 7, 424242],
+            sim_shards: 1,
         }
     }
 }
@@ -136,9 +141,10 @@ fn run_cell(
     topo_name: &'static str,
     topo: &Topology,
     seed: u64,
+    sim_shards: usize,
 ) -> CellOutcome {
     let built = scenario.build(topo, seed);
-    let (report, hostile) = run_hostile(built.cfg);
+    let (report, hostile) = run_hostile(built.cfg.with_sim_shards(sim_shards));
 
     let mut violations = Vec::new();
     violations.extend(invariants::soundness(&report));
@@ -184,7 +190,7 @@ pub fn run_campaign(
     for scenario in scenarios() {
         for (topo_name, topo) in &topos {
             for &seed in &plan.seeds {
-                let cell = run_cell(&scenario, topo_name, topo, seed);
+                let cell = run_cell(&scenario, topo_name, topo, seed, plan.sim_shards);
                 progress(&cell);
                 cells.push(cell);
             }
@@ -204,13 +210,26 @@ mod tests {
         let topos = topologies();
         let (name, topo) = &topos[0];
         let scenarios = scenarios();
-        let a = run_cell(&scenarios[0], name, topo, 7);
-        let b = run_cell(&scenarios[0], name, topo, 7);
+        let a = run_cell(&scenarios[0], name, topo, 7, 1);
+        let b = run_cell(&scenarios[0], name, topo, 7, 1);
         assert!(a.violations.is_empty(), "{:?}", a.violations);
         assert_eq!(a.events, b.events);
         assert_eq!(a.app_delivered, b.app_delivered);
         assert_eq!(a.rollbacks, b.rollbacks);
         assert_eq!(a.duplicates, b.duplicates);
+    }
+
+    /// The same cell run on the parallel executive reports the exact same
+    /// outcome — the property the `--sim-shards 4` golden-diff CI job
+    /// checks across the whole matrix.
+    #[test]
+    fn single_cell_is_shard_invariant() {
+        let topos = topologies();
+        let (name, topo) = &topos[0];
+        let scenarios = scenarios();
+        let seq = run_cell(&scenarios[0], name, topo, 7, 1);
+        let par = run_cell(&scenarios[0], name, topo, 7, 4);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }
 
     #[test]

@@ -46,8 +46,8 @@ usage:
            [--contention none|fifo] [--replication N]
            [--trace protocol|full] [--trace-file PATH]
            [--durable-dir DIR [--durable-crash-after N]]
-           [--runtime [--shards N]]
-  hc3i-sim campaign [--json PATH] [--seeds N,N,...]
+           [--sim-shards N] [--runtime [--shards N]]
+  hc3i-sim campaign [--json PATH] [--seeds N,N,...] [--sim-shards N]
   hc3i-sim recover --durable-dir DIR [--verify-prefix-of DIR]
   hc3i-sim sample-configs DIR
 
@@ -65,6 +65,10 @@ flags:
                      with a finite clc_timer take one explicit CLC after
                      the workload drains, and gc_timer maps to one final
                      collection)
+  --sim-shards N     run the simulator's conservative parallel executive
+                     on N shards (default 1). Reports are byte-identical
+                     at any shard count; durable runs fall back to the
+                     sequential executive
   --shards N         worker-pool size for --runtime (default: all cores)
   --durable-dir DIR  mirror every node's CLC store to an on-disk segment
                      log under DIR (must not already hold one); a
@@ -77,6 +81,8 @@ flags:
 campaign flags:
   --json PATH        write the deterministic JSON summary to PATH
   --seeds N,N,...    override the default seed set (20040426,7,424242)
+  --sim-shards N     run every cell on N simulator shards (the summary is
+                     byte-identical at any shard count)
 
 recover flags:
   --durable-dir DIR  the segment-log directory to scan (read-only)
@@ -100,6 +106,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut replication: Option<u32> = None;
     let mut live_runtime = false;
     let mut shards: Option<usize> = None;
+    let mut sim_shards: Option<usize> = None;
     let mut durable_dir: Option<String> = None;
     let mut durable_crash_after: Option<u64> = None;
 
@@ -125,6 +132,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     Some(0) => return usage_error("--shards needs a pool size >= 1"),
                     Some(s) => Some(s),
                     None => return usage_error("--shards needs an integer"),
+                }
+            }
+            "--sim-shards" => {
+                sim_shards = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(0) => return usage_error("--sim-shards needs a count >= 1"),
+                    Some(s) => Some(s),
+                    None => return usage_error("--sim-shards needs an integer"),
                 }
             }
             "--topology" => topology = it.next().cloned(),
@@ -205,6 +219,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if shards.is_some() && !live_runtime {
         return usage_error("--shards requires --runtime");
     }
+    if sim_shards.is_some() && live_runtime {
+        return usage_error("--sim-shards is simulator-only (--runtime has --shards)");
+    }
     if durable_crash_after.is_some() && durable_dir.is_none() {
         return usage_error("--durable-crash-after requires --durable-dir");
     }
@@ -251,6 +268,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             .with_sends(sends)
             .with_seed(seed)
             .with_protocol(protocol);
+        if let Some(k) = sim_shards {
+            cfg = cfg.with_sim_shards(k);
+        }
         if let Some(dir) = &durable_dir {
             cfg = cfg.with_durable_dir(dir);
         }
@@ -422,6 +442,13 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     _ => return usage_error("--seeds wants integers like 1,2,3"),
                 }
             }
+            "--sim-shards" => {
+                plan.sim_shards = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(0) => return usage_error("--sim-shards needs a count >= 1"),
+                    Some(s) => s,
+                    None => return usage_error("--sim-shards needs an integer"),
+                }
+            }
             other => return usage_error(&format!("unknown campaign flag {other}")),
         }
     }
@@ -546,32 +573,57 @@ fn cmd_recover(args: &[String]) -> ExitCode {
                     full.stores.len()
                 ));
             }
+            // The reference ran to completion, so its garbage collector can
+            // have pruned CLCs the crashed image still holds (the crash
+            // froze the image before those collections). Chains therefore
+            // align by SN, not by position: image entries below the
+            // reference chain's floor are historic — provably collected,
+            // impossible to compare — and are reported, not failed.
+            let mut historic_total = 0usize;
+            let mut compared_total = 0usize;
             for (node, chain) in image.stores.iter() {
                 let Some(other) = full.stores.get(node) else {
                     return Err(format!(
                         "prefix check: node {node} missing from {reference}"
                     ));
                 };
-                if chain.len() > other.len() {
-                    return Err(format!(
-                        "prefix check: node {node} has {} CLCs but only {} in {reference}",
-                        chain.len(),
-                        other.len()
-                    ));
+                let floor = other
+                    .iter()
+                    .next()
+                    .map(|e| e.meta.sn)
+                    .ok_or_else(|| format!("prefix check: node {node} empty in {reference}"))?;
+                let historic = chain.iter().take_while(|e| e.meta.sn < floor).count();
+                if historic > 0 {
+                    historic_total += historic;
+                    println!(
+                        "node {node}: {historic} CLC(s) historic (GC-pruned in reference), skipped"
+                    );
                 }
-                for (mine, theirs) in chain.iter().zip(other.iter()) {
+                for mine in chain.iter().skip(historic) {
+                    let Some(theirs) = other.iter().find(|t| t.meta.sn == mine.meta.sn) else {
+                        return Err(format!(
+                            "prefix check: node {node} has SN {} absent from {reference}",
+                            mine.meta.sn
+                        ));
+                    };
                     if mine.meta != theirs.meta || mine.payload != theirs.payload {
                         return Err(format!(
-                            "prefix check: node {node} diverges at SN {} (vs SN {})",
-                            mine.meta.sn, theirs.meta.sn
+                            "prefix check: node {node} diverges at SN {}",
+                            mine.meta.sn
                         ));
                     }
+                    compared_total += 1;
                 }
             }
             println!(
-                "prefix check: OK ({} CLCs are a prefix of {} in the reference image)",
-                image.total_entries(),
-                full.total_entries()
+                "prefix check: OK ({compared_total} CLCs are a prefix of {} in the reference \
+                 image{})",
+                full.total_entries(),
+                if historic_total > 0 {
+                    format!("; {historic_total} historic, skipped")
+                } else {
+                    String::new()
+                }
             );
         }
         Ok(())

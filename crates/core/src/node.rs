@@ -86,18 +86,48 @@ struct GcState {
     lists: BTreeMap<usize, Vec<(SeqNum, Arc<Ddv>)>>,
 }
 
+/// Control-plane state, touched only on CLC rounds, rollbacks, fault
+/// detections and garbage collections — never on the per-message hot path
+/// (application delivery, sender-side logging, duplicate checks). Boxed
+/// behind [`NodeEngine::cold`] so the hot fields of 100k engines pack
+/// densely in the host's arena; one pointer chase on the rare paths buys
+/// roughly half the per-engine inline footprint off the cache-resident set.
+#[derive(Debug)]
+struct ColdState {
+    /// Rank coordinating this cluster (fixed at 0; a failed coordinator is
+    /// revived by the rollback that recovery performs).
+    coordinator_rank: u32,
+    /// This node's checkpoint-fragment replica holders — a pure function
+    /// of rank, cluster size and replication degree, so computed once and
+    /// shared by reference with every per-commit fragment fan-out batch.
+    frag_holders: Arc<[u32]>,
+    store: ClcStore<NodeCheckpoint>,
+    coord: CoordState,
+    gc: Option<GcState>,
+    /// Highest alert epoch processed per origin cluster (alert dedup).
+    alert_seen: Vec<u64>,
+    /// Count of intra-cluster messages observed crossing a checkpoint
+    /// boundary outside a freeze window (consistency monitor).
+    late_crossings: u64,
+    /// Latest serialized application state published by the host.
+    app_state: Option<Vec<u8>>,
+}
+
 /// The per-node protocol engine.
+///
+/// Layout: fields read on (nearly) every input live inline; everything
+/// the control plane alone touches sits behind the cold-state box, and
+/// the freeze window state — a whole staged [`NodeCheckpoint`] — is boxed
+/// because it exists only between a `ClcRequest` and its commit.
 #[derive(Debug)]
 pub struct NodeEngine {
     /// Static federation configuration, `Arc`-shared by every engine of a
     /// federation: engines read it, nobody writes it after construction,
     /// and at 100k-node scale per-engine copies (each holding the whole
-    /// `cluster_sizes` vector) would dominate the arena's memory.
+    /// `cluster_sizes` vector) would dominate the arena's memory. Hot:
+    /// every inter-cluster send reads the piggyback mode.
     cfg: Arc<ProtocolConfig>,
     id: NodeId,
-    /// Rank coordinating this cluster (fixed at 0; a failed coordinator is
-    /// revived by the rollback that recovery performs).
-    coordinator_rank: u32,
     /// Rollback epoch: bumped on every cluster rollback, stamps intra-
     /// cluster control messages so stale rounds are discarded.
     epoch: u64,
@@ -107,7 +137,6 @@ pub struct NodeEngine {
     /// FullDdv piggyback stamp, and the stored `ClcMeta` stamp — one
     /// allocation per cluster per CLC (the coordinator's), zero per node.
     ddv: Arc<Ddv>,
-    store: ClcStore<NodeCheckpoint>,
     log: MessageLog<AppPayload>,
     /// Delivery record for inter-cluster duplicate suppression:
     /// `(sender, log id) -> SN at delivery`. Checkpointed copy-on-write:
@@ -119,30 +148,19 @@ pub struct NodeEngine {
     /// duplicate check (an id above the bound cannot have been delivered;
     /// an id at or below it gets the full [`DeliveredRecord`] probe).
     delivered_hwm: FastHashMap<NodeId, u64>,
-    /// This node's checkpoint-fragment replica holders — a pure function
-    /// of rank, cluster size and replication degree, so computed once and
-    /// shared by reference with every per-commit fragment fan-out batch.
-    frag_holders: Arc<[u32]>,
     /// Inter-cluster messages awaiting a forced CLC.
     pending_inter: Vec<PendingInter>,
-    frozen: Option<FrozenState>,
-    coord: CoordState,
-    gc: Option<GcState>,
+    frozen: Option<Box<FrozenState>>,
     failed: bool,
-    /// Count of intra-cluster messages observed crossing a checkpoint
-    /// boundary outside a freeze window (consistency monitor).
-    late_crossings: u64,
     /// Ghost floor per origin cluster: inter-cluster messages stamped with
     /// an epoch below this are in-flight sends of a dead incarnation.
     min_epoch: Vec<u64>,
-    /// Highest alert epoch processed per origin cluster (alert dedup).
-    alert_seen: Vec<u64>,
     /// Application-material activity (delivery, send, commit) since the
     /// last restore; a re-restore of the latest CLC with no activity is a
     /// no-op and must not re-alert (terminates echo cascades).
     dirty: bool,
-    /// Latest serialized application state published by the host.
-    app_state: Option<Vec<u8>>,
+    /// Rarely-touched control-plane state (see [`ColdState`]).
+    cold: Box<ColdState>,
 }
 
 impl NodeEngine {
@@ -197,25 +215,27 @@ impl NodeEngine {
         NodeEngine {
             cfg,
             id,
-            coordinator_rank: 0,
             epoch: 0,
             sn: initial_sn,
             ddv,
-            store,
             log: MessageLog::new(),
             delivered: DeliveredRecord::new(),
             delivered_hwm: FastHashMap::default(),
-            frag_holders,
             pending_inter: vec![],
             frozen: None,
-            coord: CoordState::default(),
-            gc: None,
             failed: false,
-            late_crossings: 0,
             min_epoch: vec![0; n],
-            alert_seen: vec![0; n],
             dirty: false,
-            app_state: None,
+            cold: Box::new(ColdState {
+                coordinator_rank: 0,
+                frag_holders,
+                store,
+                coord: CoordState::default(),
+                gc: None,
+                alert_seen: vec![0; n],
+                late_crossings: 0,
+                app_state: None,
+            }),
         }
     }
 
@@ -235,7 +255,7 @@ impl NodeEngine {
     }
     /// The CLC store.
     pub fn store(&self) -> &ClcStore<NodeCheckpoint> {
-        &self.store
+        &self.cold.store
     }
     /// The sender-side message log.
     pub fn log(&self) -> &MessageLog<AppPayload> {
@@ -247,7 +267,7 @@ impl NodeEngine {
     }
     /// Whether the node currently acts as its cluster's coordinator.
     pub fn is_coordinator(&self) -> bool {
-        self.id.rank == self.coordinator_rank
+        self.id.rank == self.cold.coordinator_rank
     }
     /// Whether a CLC two-phase commit is in progress on this node.
     pub fn is_frozen(&self) -> bool {
@@ -259,7 +279,7 @@ impl NodeEngine {
     }
     /// Consistency monitor: checkpoint-crossing intra messages seen.
     pub fn late_crossings(&self) -> u64 {
-        self.late_crossings
+        self.cold.late_crossings
     }
     /// Current rollback epoch.
     pub fn epoch(&self) -> u64 {
@@ -328,7 +348,7 @@ impl NodeEngine {
             Input::DetectFault { failed_rank } => self.on_detect_faults(&[failed_rank], out),
             Input::DetectFaults { failed_ranks } => self.on_detect_faults(&failed_ranks, out),
             Input::AppStateUpdate { state } => {
-                self.app_state = Some(state);
+                self.cold.app_state = Some(state);
             }
         }
     }
@@ -399,7 +419,7 @@ impl NodeEngine {
                     let rank = self.id.rank;
                     self.send_or_local(
                         now,
-                        NodeId::new(self.id.cluster.0, self.coordinator_rank),
+                        NodeId::new(self.id.cluster.0, self.cold.coordinator_rank),
                         Msg::ClcAck {
                             round,
                             rank,
@@ -437,7 +457,7 @@ impl NodeEngine {
                     f.channel_msgs.push((from, payload));
                 } else {
                     if sent_at_sn != self.sn {
-                        self.late_crossings += 1;
+                        self.cold.late_crossings += 1;
                         out.push(Output::LateCrossing { from });
                     }
                     self.dirty = true;
@@ -513,7 +533,7 @@ impl NodeEngine {
 
             // ---- garbage collection ----
             Msg::GcCollect => {
-                let list = self.store.ddv_list();
+                let list = self.cold.store.ddv_list();
                 self.send_or_local(
                     now,
                     from,
@@ -677,7 +697,7 @@ impl NodeEngine {
             let epoch = self.epoch;
             self.send_or_local(
                 now,
-                NodeId::new(self.id.cluster.0, self.coordinator_rank),
+                NodeId::new(self.id.cluster.0, self.cold.coordinator_rank),
                 Msg::ClcInit { reason, epoch },
                 out,
             );
@@ -743,21 +763,21 @@ impl NodeEngine {
             // shared immutable base; nothing older is copied.
             delivered: self.delivered.seal(),
             channel_state: vec![],
-            app_state: self.app_state.clone(),
+            app_state: self.cold.app_state.clone(),
         };
         // One batched fan-out action per freeze: the hosting engine
         // expands it into per-holder `FragmentReplica` sends (identical
         // ordering and byte accounting to the old per-holder outputs).
-        if !self.frag_holders.is_empty() {
+        if !self.cold.frag_holders.is_empty() {
             out.push(Output::SendFragments {
-                holders: self.frag_holders.clone(),
+                holders: self.cold.frag_holders.clone(),
                 round,
                 epoch: self.epoch,
             });
         }
-        let awaiting = self.frag_holders.to_vec();
+        let awaiting = self.cold.frag_holders.to_vec();
         let ack_immediately = awaiting.is_empty();
-        self.frozen = Some(FrozenState {
+        self.frozen = Some(Box::new(FrozenState {
             round,
             staged,
             awaiting_frag: awaiting,
@@ -765,11 +785,11 @@ impl NodeEngine {
             channel_msgs: vec![],
             deferred: vec![],
             out_queue: vec![],
-        });
+        }));
         if ack_immediately {
             let rank = self.id.rank;
             let epoch = self.epoch;
-            let coord = NodeId::new(self.id.cluster.0, self.coordinator_rank);
+            let coord = NodeId::new(self.id.cluster.0, self.cold.coordinator_rank);
             self.send_or_local(now, coord, Msg::ClcAck { round, rank, epoch }, out);
         }
     }
@@ -796,9 +816,9 @@ impl NodeEngine {
             deferred,
             out_queue,
             ..
-        } = frozen;
+        } = *frozen;
         staged.channel_state = channel_msgs.clone();
-        self.store.commit(
+        self.cold.store.commit(
             ClcMeta {
                 sn,
                 ddv: ddv.clone(),
@@ -848,10 +868,10 @@ impl NodeEngine {
         if !self.reason_relevant(&reason) {
             return;
         }
-        match self.coord.current {
+        match self.cold.coord.current {
             Some(ref mut round) => round.reasons.push(reason),
             None => {
-                self.coord.queued.push(reason);
+                self.cold.coord.queued.push(reason);
                 self.coord_maybe_start(now, out);
             }
         }
@@ -872,19 +892,19 @@ impl NodeEngine {
     }
 
     fn coord_maybe_start(&mut self, now: SimTime, out: &mut OutputBuf) {
-        if self.coord.current.is_some() {
+        if self.cold.coord.current.is_some() {
             return;
         }
-        let reasons: Vec<ClcReason> = std::mem::take(&mut self.coord.queued)
+        let reasons: Vec<ClcReason> = std::mem::take(&mut self.cold.coord.queued)
             .into_iter()
             .filter(|r| self.reason_relevant(r))
             .collect();
         if reasons.is_empty() {
             return;
         }
-        self.coord.next_round += 1;
-        let round = self.coord.next_round;
-        self.coord.current = Some(RoundState {
+        self.cold.coord.next_round += 1;
+        let round = self.cold.coord.next_round;
+        self.cold.coord.current = Some(RoundState {
             round,
             acked: vec![false; self.cluster_size() as usize],
             ack_count: 0,
@@ -896,7 +916,7 @@ impl NodeEngine {
 
     fn coord_ack(&mut self, now: SimTime, round: u64, rank: u32, out: &mut OutputBuf) {
         let size = self.cluster_size();
-        let complete = match self.coord.current.as_mut() {
+        let complete = match self.cold.coord.current.as_mut() {
             Some(r) if r.round == round => {
                 let idx = rank as usize;
                 if idx < r.acked.len() && !r.acked[idx] {
@@ -910,7 +930,7 @@ impl NodeEngine {
         if !complete {
             return;
         }
-        let round_state = self.coord.current.take().expect("round exists");
+        let round_state = self.cold.coord.current.take().expect("round exists");
         // Compute the committed stamp: apply every DDV raise, then bump SN.
         // The one DDV allocation of the whole CLC round happens here, at
         // the coordinator; everyone else shares the broadcast `Arc`.
@@ -959,6 +979,7 @@ impl NodeEngine {
             return;
         }
         let restore_sn = self
+            .cold
             .store
             .latest()
             .expect("initial CLC always exists")
@@ -975,11 +996,11 @@ impl NodeEngine {
             &Msg::RollbackOrder {
                 restore_sn,
                 epoch: new_epoch,
-                new_coordinator: self.coordinator_rank,
+                new_coordinator: self.cold.coordinator_rank,
             },
             out,
         );
-        let coord_rank = self.coordinator_rank;
+        let coord_rank = self.cold.coordinator_rank;
         self.apply_rollback(restore_sn, new_epoch, coord_rank, out);
         // Alert every other cluster (paper §3.4), sent by the node that
         // initiated recovery.
@@ -1010,9 +1031,10 @@ impl NodeEngine {
             return; // stale or duplicate order
         }
         self.epoch = epoch;
-        self.coordinator_rank = new_coordinator;
+        self.cold.coordinator_rank = new_coordinator;
         self.failed = false;
         let entry = self
+            .cold
             .store
             .get(restore_sn)
             .expect("rollback target must be stored");
@@ -1020,15 +1042,15 @@ impl NodeEngine {
         self.ddv = entry.meta.ddv.clone();
         self.delivered = entry.payload.delivered.clone();
         let restored_app = entry.payload.app_state.clone();
-        self.app_state = restored_app.clone();
+        self.cold.app_state = restored_app.clone();
         let channel_replay = entry.payload.channel_state.clone();
-        let discarded = self.store.truncate_after(restore_sn);
+        let discarded = self.cold.store.truncate_after(restore_sn);
         self.log.truncate_after_rollback(restore_sn);
         self.frozen = None;
         self.pending_inter.clear();
-        self.coord.current = None;
-        self.coord.queued.clear();
-        self.gc = None;
+        self.cold.coord.current = None;
+        self.cold.coord.queued.clear();
+        self.cold.gc = None;
         self.dirty = false;
         out.push(Output::RolledBack {
             restore_sn,
@@ -1058,18 +1080,19 @@ impl NodeEngine {
         debug_assert_ne!(origin, self.my_cluster(), "alert from own cluster");
         // Each restore of `origin` produces exactly one alert with a fresh
         // epoch: process each at most once.
-        if origin_epoch <= self.alert_seen[origin] {
+        if origin_epoch <= self.cold.alert_seen[origin] {
             return;
         }
-        self.alert_seen[origin] = origin_epoch;
+        self.cold.alert_seen[origin] = origin_epoch;
         self.min_epoch[origin] = self.min_epoch[origin].max(origin_epoch);
 
         let target = self
+            .cold
             .store
             .rollback_target(origin, alert_sn)
             .map(|e| e.meta.sn);
         if let Some(target_sn) = target {
-            let latest_sn = self.store.latest().expect("nonempty").meta.sn;
+            let latest_sn = self.cold.store.latest().expect("nonempty").meta.sn;
             if target_sn < latest_sn || self.dirty {
                 // Cascade: roll back and alert the others with our new SN.
                 self.initiate_cluster_rollback(target_sn, out);
@@ -1120,12 +1143,12 @@ impl NodeEngine {
     fn on_gc_timer(&mut self, out: &mut OutputBuf) {
         // Only the federation GC initiator (cluster 0's coordinator) runs
         // the centralized collection.
-        if self.my_cluster() != 0 || !self.is_coordinator() || self.gc.is_some() {
+        if self.my_cluster() != 0 || !self.is_coordinator() || self.cold.gc.is_some() {
             return;
         }
         let mut lists = BTreeMap::new();
-        lists.insert(self.my_cluster(), self.store.ddv_list());
-        self.gc = Some(GcState { lists });
+        lists.insert(self.my_cluster(), self.cold.store.ddv_list());
+        self.cold.gc = Some(GcState { lists });
         let n = self.cfg.num_clusters();
         if n == 1 {
             self.gc_finish(SimTime::ZERO, out);
@@ -1147,7 +1170,7 @@ impl NodeEngine {
         out: &mut OutputBuf,
     ) {
         let n = self.cfg.num_clusters();
-        let complete = match self.gc.as_mut() {
+        let complete = match self.cold.gc.as_mut() {
             Some(g) => {
                 g.lists.insert(cluster, list);
                 g.lists.len() == n
@@ -1160,7 +1183,7 @@ impl NodeEngine {
     }
 
     fn gc_finish(&mut self, now: SimTime, out: &mut OutputBuf) {
-        let mut g = self.gc.take().expect("gc in progress");
+        let mut g = self.cold.gc.take().expect("gc in progress");
         // Move the collected lists out — the stamps inside stay shared
         // with the stores they came from; nothing is deep-copied.
         let lists: Vec<Vec<(SeqNum, Arc<Ddv>)>> = (0..self.cfg.num_clusters())
@@ -1187,10 +1210,10 @@ impl NodeEngine {
     }
 
     fn apply_gc_prune(&mut self, min_sns: &[SeqNum], out: &mut OutputBuf) {
-        let before = self.store.len();
+        let before = self.cold.store.len();
         let min_sn = min_sns[self.my_cluster()];
-        self.store.prune_below(min_sn);
-        let after = self.store.len();
+        self.cold.store.prune_below(min_sn);
+        let after = self.cold.store.len();
         if after < before {
             out.push(Output::StorePruned { min_sn });
         }
@@ -1200,5 +1223,31 @@ impl NodeEngine {
         if self.is_coordinator() {
             out.push(Output::GcReport { before, after });
         }
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    /// The simulator arena stores engines inline, so the inline size is
+    /// what 100k-node sweeps keep cache-resident. The hot/cold split holds
+    /// it to four cache lines (224 bytes at the time of writing, down from
+    /// ~650 with `ColdState` and `FrozenState` inline). If this fires, the
+    /// new field probably belongs in `ColdState` — or boxed, like the
+    /// freeze window state.
+    #[test]
+    fn hot_engine_stays_within_four_cache_lines() {
+        let hot = std::mem::size_of::<NodeEngine>();
+        assert!(hot <= 256, "NodeEngine inline size grew to {hot} bytes");
+        // The split only pays off while the cold side carries real weight.
+        let cold = std::mem::size_of::<ColdState>();
+        assert!(
+            cold >= 128,
+            "ColdState shrank to {cold} bytes — fold it back?"
+        );
+        // The freeze window (a whole staged checkpoint) must stay boxed:
+        // it exists only between a ClcRequest and its commit.
+        assert_eq!(std::mem::size_of::<Option<Box<FrozenState>>>(), 8);
     }
 }

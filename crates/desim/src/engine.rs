@@ -20,6 +20,20 @@
 
 use crate::queue::{EventKey, EventQueue};
 use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Canonical ordering key for [inbox](Ctx::schedule_inbox) events: an
+/// opaque `(sent, route, copy)` triple supplied by the world.
+///
+/// Inbox events at one instant dispatch in ascending key order — *not* in
+/// scheduling order like queue events. A world that derives the key purely
+/// from message content (origin timestamp, directed route, per-route
+/// sequence number) gets a dispatch order that is invariant under how the
+/// federation is partitioned across simulator shards: the same messages
+/// ingested from different shards, in any arrival order, replay
+/// identically. This is the determinism contract the parallel executive
+/// builds on.
+pub type InboxKey = (SimTime, u64, u64);
 
 /// The model being simulated: a state machine fed events by the executive.
 pub trait World {
@@ -51,6 +65,7 @@ pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     feed: &'a mut std::collections::VecDeque<(SimTime, E)>,
+    inbox: &'a mut BTreeMap<(SimTime, InboxKey), E>,
     stop_requested: &'a mut bool,
 }
 
@@ -82,6 +97,25 @@ impl<'a, E> Ctx<'a, E> {
     /// Cancel a previously scheduled event (e.g. to reset a timer).
     pub fn cancel(&mut self, key: EventKey) -> bool {
         self.queue.cancel(key)
+    }
+
+    /// Schedule `event` through the canonically-ordered inbox (see
+    /// [`InboxKey`]). Inbox events at one instant dispatch *after* the
+    /// instant's queue events, in ascending key order regardless of
+    /// insertion order. Strictly-future only: an inbox event needs a full
+    /// instant boundary to sort against its peers.
+    ///
+    /// # Panics
+    /// If `at` is not in the strict future, or the key is already taken.
+    pub fn schedule_inbox(&mut self, at: SimTime, key: InboxKey, event: E) {
+        assert!(
+            at > self.now,
+            "inbox event must be strictly future: now={} at={}",
+            self.now,
+            at
+        );
+        let clash = self.inbox.insert((at, key), event);
+        assert!(clash.is_none(), "inbox key collision at {at}: {key:?}");
     }
 
     /// Ask the executive to stop after the current event completes.
@@ -132,13 +166,27 @@ impl InstantBatch {
 
     /// Pull the next event of this instant, or `None` when the instant is
     /// drained, the budget is spent, or a stop was requested.
+    ///
+    /// Within the instant the order is: feed events first (the feed wins
+    /// ties), then queued events in scheduling order (including events
+    /// scheduled *at* this instant mid-batch), then inbox events in
+    /// canonical key order. Inbox insertion is strictly future, so the
+    /// inbox tail of an instant is complete before it starts draining.
     pub fn next<E>(&mut self, ctx: &mut Ctx<'_, E>) -> Option<E> {
         if self.taken >= self.budget || *ctx.stop_requested {
             return None;
         }
         let event = match ctx.feed.front() {
             Some(&(ft, _)) if ft == self.at => ctx.feed.pop_front().expect("peeked").1,
-            _ => ctx.queue.pop_if_at(self.at)?,
+            _ => match ctx.queue.pop_if_at(self.at) {
+                Some(e) => e,
+                None => match ctx.inbox.first_key_value() {
+                    Some((&(at, _), _)) if at == self.at => {
+                        ctx.inbox.pop_first().expect("peeked").1
+                    }
+                    _ => return None,
+                },
+            },
         };
         self.taken += 1;
         Some(event)
@@ -166,6 +214,9 @@ pub struct Simulation<W: World> {
     /// (see [`Simulation::feed_sorted`]). Kept outside the calendar so a
     /// bulk workload does not inflate the in-flight set for the whole run.
     feed: std::collections::VecDeque<(SimTime, W::Event)>,
+    /// Canonically-ordered side channel (see [`InboxKey`]): events here
+    /// dispatch after the queue at their instant, in key order.
+    inbox: BTreeMap<(SimTime, InboxKey), W::Event>,
     now: SimTime,
     stop_requested: bool,
     events_processed: u64,
@@ -178,6 +229,7 @@ impl<W: World> Simulation<W> {
             world,
             queue: EventQueue::new(),
             feed: std::collections::VecDeque::new(),
+            inbox: BTreeMap::new(),
             now: SimTime::ZERO,
             stop_requested: false,
             events_processed: 0,
@@ -242,12 +294,39 @@ impl<W: World> Simulation<W> {
     }
 
     /// Time of the next event to dispatch (feed wins ties), if any.
-    fn next_time(&mut self) -> Option<SimTime> {
-        match (self.feed.front().map(|&(at, _)| at), self.queue.peek_time()) {
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        let fq = match (self.feed.front().map(|&(at, _)| at), self.queue.peek_time()) {
             (Some(f), Some(q)) => Some(f.min(q)),
             (Some(f), None) => Some(f),
             (None, q) => q,
+        };
+        let inbox = self.inbox.first_key_value().map(|(&(at, _), _)| at);
+        match (fq, inbox) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
+    }
+
+    /// Ingest one externally-routed inbox event (a cross-shard message
+    /// exchanged by the parallel executive). Same ordering contract as
+    /// [`Ctx::schedule_inbox`].
+    ///
+    /// # Panics
+    /// If `at` is not in the strict future, or the key is already taken.
+    pub fn ingest(&mut self, at: SimTime, key: InboxKey, event: W::Event) {
+        assert!(
+            at > self.now,
+            "ingested event must be strictly future: now={} at={at}",
+            self.now
+        );
+        let clash = self.inbox.insert((at, key), event);
+        assert!(clash.is_none(), "inbox key collision at {at}: {key:?}");
+    }
+
+    /// True once the world has requested a stop (the latch is permanent:
+    /// a stopped simulation dispatches nothing further).
+    pub fn is_stopped(&self) -> bool {
+        self.stop_requested
     }
 
     /// Advance to the next pending instant and dispatch up to `max_events`
@@ -263,6 +342,7 @@ impl<W: World> Simulation<W> {
             now: at,
             queue: &mut self.queue,
             feed: &mut self.feed,
+            inbox: &mut self.inbox,
             stop_requested: &mut self.stop_requested,
         };
         let mut batch = InstantBatch {
@@ -584,6 +664,132 @@ mod tests {
         assert_eq!(sim.run(), RunOutcome::Exhausted);
         assert_eq!(sim.world().fired, vec![0, 1, 10, 11]);
         assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn inbox_fires_after_queue_in_key_order() {
+        // Queue and inbox events at one instant: the queue's fire first
+        // (in scheduling order), then the inbox's in key order — NOT in
+        // insertion order.
+        struct Order {
+            fired: Vec<u32>,
+        }
+        impl World for Order {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+            }
+        }
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        let mut sim = Simulation::new(Order { fired: vec![] });
+        sim.schedule_at(t, 10);
+        // Inserted out of key order; keys sort 100 < 101 < 102.
+        sim.ingest(t, (SimTime(5), 0, 1), 102);
+        sim.ingest(t, (SimTime(3), 0, 0), 100);
+        sim.ingest(t, (SimTime(3), 7, 0), 101);
+        sim.schedule_at(t, 11);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired, vec![10, 11, 100, 101, 102]);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn inbox_alone_advances_the_clock() {
+        // next_time must see the inbox even when feed and queue are empty.
+        struct Sink {
+            fired: Vec<u32>,
+        }
+        impl World for Sink {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+            }
+        }
+        let mut sim = Simulation::new(Sink { fired: vec![] });
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        sim.ingest(t, (SimTime::ZERO, 1, 0), 7);
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired, vec![7]);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
+    fn inbox_events_can_schedule_followups() {
+        // An inbox handler schedules a queue event at a later instant; it
+        // dispatches normally.
+        struct Chain {
+            fired: Vec<u32>,
+        }
+        impl World for Chain {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+                if ev == 1 {
+                    ctx.schedule_in(SimDuration::from_secs(1), 2);
+                    ctx.schedule_inbox(ctx.now() + SimDuration::from_secs(1), (ctx.now(), 0, 0), 3);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chain { fired: vec![] });
+        sim.ingest(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            (SimTime::ZERO, 0, 0),
+            1,
+        );
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        // At t=2 the queued 2 fires before the inboxed 3.
+        assert_eq!(sim.world().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stop_skips_remaining_inbox_events() {
+        // A queue event stopping the run leaves same-instant inbox events
+        // unpulled — the rule that makes the horizon `End` latch identical
+        // between sequential and sharded runs.
+        struct Stopper {
+            fired: Vec<u32>,
+        }
+        impl World for Stopper {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.fired.push(ev);
+                if ev == 0 {
+                    ctx.stop();
+                }
+            }
+        }
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        let mut sim = Simulation::new(Stopper { fired: vec![] });
+        sim.schedule_at(t, 0);
+        sim.ingest(t, (SimTime::ZERO, 0, 0), 9);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.world().fired, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly future")]
+    fn ingesting_at_the_current_instant_panics() {
+        struct Inert;
+        impl World for Inert {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+        }
+        let mut sim = Simulation::new(Inert);
+        sim.ingest(SimTime::ZERO, (SimTime::ZERO, 0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inbox key collision")]
+    fn duplicate_inbox_keys_panic() {
+        struct Inert;
+        impl World for Inert {
+            type Event = u32;
+            fn handle(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+        }
+        let mut sim = Simulation::new(Inert);
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        sim.ingest(t, (SimTime::ZERO, 0, 0), 1);
+        sim.ingest(t, (SimTime::ZERO, 0, 0), 2);
     }
 
     #[test]

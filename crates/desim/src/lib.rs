@@ -49,7 +49,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, InstantBatch, RunOutcome, Simulation, World};
+pub use engine::{Ctx, InboxKey, InstantBatch, RunOutcome, Simulation, World};
 pub use queue::{EventKey, EventQueue};
 pub use rng::{exponential, pareto, uniform, RngStreams};
 pub use stats::{Counter, Histogram, StatsRegistry, Tally, TimeSeries};

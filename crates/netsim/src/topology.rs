@@ -188,6 +188,33 @@ impl Topology {
     pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> {
         (0..self.clusters.len() as u16).map(ClusterId)
     }
+
+    /// Conservative parallel-simulation lookahead: the minimum one-way
+    /// propagation latency over all inter-cluster links, floored at 1 ns.
+    ///
+    /// No inter-cluster message can arrive sooner than this after it is
+    /// sent (hostile skew/reorder/holds only *add* delay, and the wire
+    /// floors every arrival at now + 1 ns), so a shard that owns a subset
+    /// of clusters may safely run `lookahead` ahead of every other shard.
+    /// A single-cluster federation has no inter-cluster links and thus no
+    /// bound: [`SimDuration::INFINITE`].
+    pub fn lookahead(&self) -> SimDuration {
+        let mut min = SimDuration::INFINITE;
+        let n = self.clusters.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let l = self.inter.get(i, j).latency;
+                if l < min {
+                    min = l;
+                }
+            }
+        }
+        if min < SimDuration::from_nanos(1) {
+            SimDuration::from_nanos(1)
+        } else {
+            min
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +312,44 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn empty_federation_rejected() {
         Topology::new(vec![], LinkSpec::ethernet_like());
+    }
+
+    #[test]
+    fn lookahead_is_min_inter_latency() {
+        let mut t = Topology::paper_reference(3);
+        assert_eq!(t.lookahead(), SimDuration::from_micros(150));
+        // A slower override does not change the minimum...
+        t.set_inter_link(ClusterId(0), ClusterId(2), LinkSpec::wan_like());
+        assert_eq!(t.lookahead(), SimDuration::from_micros(150));
+        // ...but a faster one does.
+        t.set_inter_link(
+            ClusterId(1),
+            ClusterId(2),
+            LinkSpec {
+                latency: SimDuration::from_micros(3),
+                bandwidth_bps: 1_000_000_000,
+            },
+        );
+        assert_eq!(t.lookahead(), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn lookahead_floors_at_one_nanosecond() {
+        let mut t = Topology::paper_reference(2);
+        t.set_inter_link(
+            ClusterId(0),
+            ClusterId(1),
+            LinkSpec {
+                latency: SimDuration::ZERO,
+                bandwidth_bps: 1,
+            },
+        );
+        assert_eq!(t.lookahead(), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn single_cluster_has_unbounded_lookahead() {
+        let t = Topology::paper_reference(1);
+        assert!(t.lookahead().is_infinite());
     }
 }

@@ -76,6 +76,15 @@ pub struct SimConfig {
     /// flush, no destructors — a simulated power loss at a deterministic
     /// point). Requires [`SimConfig::durable_dir`].
     pub durable_crash_after: Option<u64>,
+    /// Number of simulator shards for the conservative parallel driver.
+    /// Clusters are partitioned across this many OS threads, each owning
+    /// its own calendar queue and engine sub-arena, synchronized only by
+    /// the inter-cluster lookahead horizon. `1` (the default) runs the
+    /// sequential executive. Any value produces byte-identical reports and
+    /// fingerprints; runs with [`SimConfig::durable_dir`] set degrade to
+    /// the sequential path (the durable log needs the global commit-frame
+    /// order), and the shard count is clamped to the cluster count.
+    pub sim_shards: usize,
 }
 
 impl SimConfig {
@@ -107,6 +116,7 @@ impl SimConfig {
             xport: None,
             durable_dir: None,
             durable_crash_after: None,
+            sim_shards: 1,
         }
     }
 
@@ -233,6 +243,14 @@ impl SimConfig {
     /// commit frames.
     pub fn with_durable_crash_after(mut self, commits: u64) -> Self {
         self.durable_crash_after = Some(commits);
+        self
+    }
+
+    /// Partition the federation across `shards` parallel simulator shards
+    /// (see [`SimConfig::sim_shards`]).
+    pub fn with_sim_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "sim_shards must be at least 1");
+        self.sim_shards = shards;
         self
     }
 

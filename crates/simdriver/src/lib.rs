@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod hostile;
+mod parallel;
 pub mod report;
 pub mod run;
 pub mod world;
